@@ -1,0 +1,316 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the paper's evaluation (run with `go test -bench=. -benchmem`). Each
+// benchmark executes its experiment once per b.N iteration and prints the
+// resulting data series; EXPERIMENTS.md records the paper-vs-measured
+// comparison for each. BenchmarkAblation* additionally quantify the design
+// choices DESIGN.md calls out (Dynamo, the ROB-criticality heuristic, the
+// eager select-µop variant, and the body-size confidence mapping).
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"acb/internal/bpu"
+	"acb/internal/config"
+	"acb/internal/core"
+	"acb/internal/experiments"
+	"acb/internal/ooo"
+	"acb/internal/stats"
+	"acb/internal/workload"
+)
+
+// benchBudget is the per-simulation retired-instruction budget for the
+// figure benchmarks. The experiments are deterministic; larger budgets
+// sharpen the numbers but scale run time linearly.
+const benchBudget = 400_000
+
+func benchOpts() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.Budget = benchBudget
+	return o
+}
+
+func report(b *testing.B, t *stats.Table) {
+	b.Helper()
+	b.StopTimer()
+	fmt.Printf("\n%s\n", t.String())
+}
+
+// BenchmarkTableI — the paper's Table I: ACB storage (386 bytes).
+func BenchmarkTableI(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.TableI()
+	}
+	report(b, t)
+}
+
+// BenchmarkMispredictCensus — Sec. II motivation: branch-PC coverage of
+// dynamic mispredictions and the convergent/loop/non-convergent split.
+func BenchmarkMispredictCensus(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.MispredictCensus(benchOpts())
+	}
+	report(b, t)
+}
+
+// BenchmarkFigure1 — perfect-BP headroom vs core scaling.
+func BenchmarkFigure1(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Figure1(benchOpts())
+	}
+	report(b, t)
+}
+
+// BenchmarkFigure6 — ACB speedup and flush reduction, category-wise.
+func BenchmarkFigure6(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Figure6(benchOpts())
+	}
+	report(b, t)
+}
+
+// BenchmarkFigure7 — per-workload mis-speculation vs performance ratios.
+func BenchmarkFigure7(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Figure7(benchOpts())
+	}
+	report(b, t)
+}
+
+// BenchmarkFigure8 — ACB vs ACB-without-Dynamo vs DMP.
+func BenchmarkFigure8(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Figure8(benchOpts())
+	}
+	report(b, t)
+}
+
+// BenchmarkFigure9 — DMP vs DMP-PBH vs ACB on the D/E outlier classes.
+func BenchmarkFigure9(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Figure9(benchOpts())
+	}
+	report(b, t)
+}
+
+// BenchmarkFigure10 — allocation stalls on category-E workloads.
+func BenchmarkFigure10(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Figure10(benchOpts())
+	}
+	report(b, t)
+}
+
+// BenchmarkFigure11 — ACB vs DHP coverage comparison.
+func BenchmarkFigure11(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Figure11(benchOpts())
+	}
+	report(b, t)
+}
+
+// BenchmarkCoreScaling — Sec. V-D: ACB on the future 8-wide core.
+func BenchmarkCoreScaling(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.CoreScaling(benchOpts())
+	}
+	report(b, t)
+}
+
+// BenchmarkPowerProxy — Sec. V-E: allocation and flush reductions.
+func BenchmarkPowerProxy(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.PowerProxy(benchOpts())
+	}
+	report(b, t)
+}
+
+// ---- Ablations ------------------------------------------------------------
+
+// ablationWorkloads is a small representative slice: one big winner, one
+// history-pollution outlier, one predication-hostile workload, one
+// memory-shadowed workload.
+func ablationWorkloads() []string {
+	return []string{"lammps", "omnetpp", "eembc", "soplex", "gobmk"}
+}
+
+func runACBVariant(b *testing.B, cfg core.Config, names []string) float64 {
+	b.Helper()
+	var speedups []float64
+	for _, n := range names {
+		w, err := workload.ByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, m := w.Build()
+		base := ooo.NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), nil, m.Clone())
+		bres, err := base.Run(benchBudget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := ooo.NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), core.New(cfg), m.Clone())
+		res, err := c.Run(benchBudget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedups = append(speedups, res.IPC/bres.IPC)
+	}
+	return stats.Geomean(speedups)
+}
+
+// BenchmarkAblationDynamo — ACB with vs without the run-time monitor.
+func BenchmarkAblationDynamo(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = runACBVariant(b, core.DefaultConfig(), ablationWorkloads())
+		cfg := core.DefaultConfig()
+		cfg.UseDynamo = false
+		without = runACBVariant(b, cfg, ablationWorkloads())
+	}
+	b.StopTimer()
+	fmt.Printf("\nACB geomean with Dynamo: %.3f   without: %.3f\n", with, without)
+}
+
+// BenchmarkAblationROBFrac — the Sec. III-A ROB-quartile criticality
+// refinement on vs off.
+func BenchmarkAblationROBFrac(b *testing.B) {
+	var off, on float64
+	for i := 0; i < b.N; i++ {
+		off = runACBVariant(b, core.DefaultConfig(), ablationWorkloads())
+		cfg := core.DefaultConfig()
+		cfg.ROBFracLimit = 0.25
+		on = runACBVariant(b, cfg, ablationWorkloads())
+	}
+	b.StopTimer()
+	fmt.Printf("\nACB geomean without ROB-quartile filter: %.3f   with: %.3f\n", off, on)
+}
+
+// BenchmarkAblationEagerACB — the Sec. V-C sensitivity study: ACB with
+// DMP-style select micro-ops instead of stall-and-transparency (the paper
+// measured only ~0.2% benefit, justifying the simpler design).
+func BenchmarkAblationEagerACB(b *testing.B) {
+	var stall, eager float64
+	for i := 0; i < b.N; i++ {
+		stall = runACBVariant(b, core.DefaultConfig(), ablationWorkloads())
+		cfg := core.DefaultConfig()
+		cfg.Eager = true
+		eager = runACBVariant(b, cfg, ablationWorkloads())
+	}
+	b.StopTimer()
+	fmt.Printf("\nACB geomean stall/transparency: %.3f   eager select-µops: %.3f\n", stall, eager)
+}
+
+// BenchmarkAblationLearningWindow — sensitivity of the convergence
+// learning window N (paper: 40).
+func BenchmarkAblationLearningWindow(b *testing.B) {
+	results := map[int]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{16, 40, 64} {
+			cfg := core.DefaultConfig()
+			cfg.N = n
+			results[n] = runACBVariant(b, cfg, ablationWorkloads())
+		}
+	}
+	b.StopTimer()
+	fmt.Printf("\nACB geomean by learning window: N=16 %.3f  N=40 %.3f  N=64 %.3f\n",
+		results[16], results[40], results[64])
+}
+
+// BenchmarkSensitivityN — the paper's N-window sweep (Sec. III-B).
+func BenchmarkSensitivityN(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.SensitivityN(benchOpts())
+	}
+	report(b, t)
+}
+
+// BenchmarkSensitivityEpoch — the Dynamo epoch-length sweep (Sec. III-C).
+func BenchmarkSensitivityEpoch(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.SensitivityEpoch(benchOpts())
+	}
+	report(b, t)
+}
+
+// BenchmarkSensitivityACBTable — ACB Table size sweep (Sec. III-B:
+// "increasing its size from 32 to 256 had negligible effect").
+func BenchmarkSensitivityACBTable(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.SensitivityACBTable(benchOpts())
+	}
+	report(b, t)
+}
+
+// BenchmarkSensitivityPredictor — ACB's gain across baseline predictors.
+func BenchmarkSensitivityPredictor(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.SensitivityPredictor(benchOpts())
+	}
+	report(b, t)
+}
+
+// BenchmarkMultiRecon — the paper's category-B1 future-work extension:
+// multiple reconvergence points learned from divergence feedback
+// (Sec. V-C, "ACB can be enhanced to support the same by actively
+// learning and allocating multiple reconvergence points").
+func BenchmarkMultiRecon(b *testing.B) {
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.MultiRecon(benchOpts())
+	}
+	report(b, t)
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed
+// (cycles and instructions simulated per wall second) on one compute-bound
+// workload — the harness's own cost model.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, err := workload.ByName("gobmk")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var retired int64
+	for i := 0; i < b.N; i++ {
+		p, m := w.Build()
+		c := ooo.NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), nil, m)
+		res, err := c.Run(200_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		retired += res.Retired
+	}
+	b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkAblationThrottle — Dynamo vs the paper's rejected pre-Dynamo
+// stall-counting throttle (Sec. V-B): the stall metric over-throttles
+// cases where saved flushes outweigh the added stalls.
+func BenchmarkAblationThrottle(b *testing.B) {
+	var dynamo, stalls float64
+	for i := 0; i < b.N; i++ {
+		dynamo = runACBVariant(b, core.DefaultConfig(), ablationWorkloads())
+		cfg := core.DefaultConfig()
+		cfg.UseDynamo = false
+		cfg.ThrottleStalls = true
+		stalls = runACBVariant(b, cfg, ablationWorkloads())
+	}
+	b.StopTimer()
+	fmt.Printf("\nACB geomean with Dynamo: %.3f   with stall-count throttle: %.3f\n", dynamo, stalls)
+}

@@ -1,0 +1,160 @@
+// Command acbsim simulates one workload on one configuration and prints
+// the run's statistics.
+//
+// Usage:
+//
+//	acbsim -workload lammps -scheme acb -budget 1000000
+//	acbsim -workload omnetpp -scheme dmp -config future
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"acb/internal/bpu"
+	"acb/internal/config"
+	"acb/internal/core"
+	"acb/internal/dmp"
+	"acb/internal/ooo"
+	"acb/internal/workload"
+)
+
+func main() {
+	var (
+		name      = flag.String("workload", "lammps", "workload name (see acbsweep -list)")
+		schemeStr = flag.String("scheme", "acb", "baseline | perfect | acb | acb-nodynamo | acb-eager | dmp | dmp-pbh | dhp")
+		budget    = flag.Int64("budget", 1_000_000, "retired-instruction budget")
+		cfgName   = flag.String("config", "skylake", "skylake | skylake-2x | skylake-3x | future")
+		predName  = flag.String("predictor", "tage", "tage | gshare | bimodal | perceptron")
+		topN      = flag.Int("top", 10, "print the N most-mispredicting branch PCs")
+		pipe      = flag.Bool("pipestats", false, "collect and print pipeline utilization")
+	)
+	flag.Parse()
+
+	w, err := workload.ByName(*name)
+	if err != nil {
+		fail(err)
+	}
+	var cfg config.Core
+	switch *cfgName {
+	case "skylake":
+		cfg = config.Skylake()
+	case "skylake-2x":
+		cfg = config.Scaled(2)
+	case "skylake-3x":
+		cfg = config.Scaled(3)
+	case "future":
+		cfg = config.Future()
+	default:
+		fail(fmt.Errorf("unknown config %q", *cfgName))
+	}
+
+	p, m := w.Build()
+
+	var predictor bpu.Predictor
+	switch *predName {
+	case "tage":
+		predictor = bpu.NewTAGE(bpu.DefaultTAGEConfig())
+	case "gshare":
+		predictor = bpu.NewGShare(14, 16)
+	case "bimodal":
+		predictor = bpu.NewBimodal(14)
+	case "perceptron":
+		predictor = bpu.NewPerceptron(10, 32)
+	default:
+		fail(fmt.Errorf("unknown predictor %q", *predName))
+	}
+
+	var scheme ooo.Scheme
+	var acb *core.ACB
+	switch *schemeStr {
+	case "baseline":
+	case "perfect":
+		predictor = bpu.NewOracle()
+	case "acb":
+		acb = core.New(core.DefaultConfig())
+		scheme = acb
+	case "acb-nodynamo":
+		c := core.DefaultConfig()
+		c.UseDynamo = false
+		acb = core.New(c)
+		scheme = acb
+	case "acb-eager":
+		c := core.DefaultConfig()
+		c.Eager = true
+		acb = core.New(c)
+		scheme = acb
+	case "dmp", "dmp-pbh", "dhp":
+		mode := dmp.ModeDMP
+		if *schemeStr == "dhp" {
+			mode = dmp.ModeDHP
+		}
+		c := dmp.DefaultConfig(mode)
+		c.PerfectBranchHistory = *schemeStr == "dmp-pbh"
+		cands := dmp.Profile(p, m, dmp.DefaultProfileConfig())
+		scheme = dmp.New(c, cands)
+	default:
+		fail(fmt.Errorf("unknown scheme %q", *schemeStr))
+	}
+
+	simCore := ooo.NewWithMemory(cfg, p, predictor, scheme, m)
+	if *pipe {
+		simCore.EnablePipeStats()
+	}
+	res, err := simCore.Run(*budget)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("workload      %s (%s) — %s\n", w.Name, w.Category, w.Mirrors)
+	fmt.Printf("config        %s   predictor %s   scheme %s\n", cfg.Name, predictor.Name(), res.Scheme)
+	fmt.Printf("retired       %d in %d cycles  (IPC %.3f)\n", res.Retired, res.Cycles, res.IPC)
+	fmt.Printf("cond branches %d   mispredicts %d (%.2f /kilo)\n", res.CondBranches, res.Mispredicts, res.MispredPerKilo())
+	fmt.Printf("flushes       %d (%.2f /kilo, %d divergence)\n", res.Flushes, res.FlushPerKilo(), res.DivFlushes)
+	fmt.Printf("predications  %d   select-µops %d   transparent ops %d   invalidated mem %d\n",
+		res.Predications, res.SelectUops, res.TransparentOps, res.InvalidatedMem)
+	fmt.Printf("allocations   %d (wrong-path %d)   alloc-stall slots %d\n",
+		res.Allocations, res.WrongPathAllocs, res.AllocStallSlots)
+	fmt.Printf("L1D           %d hits / %d misses   LLC %d hits / %d misses   fwd %d\n",
+		res.L1Hits, res.L1Misses, res.LLCHits, res.LLCMisses, res.LoadForwards)
+
+	if *pipe {
+		fmt.Printf("\n%s", simCore.PipeStats().String())
+	}
+
+	if acb != nil {
+		fmt.Printf("\nACB: learned %d convergences, %d divergences, %d tracking failures, storage %d bytes\n",
+			acb.Learnings, acb.Divergences, acb.TrackFails, acb.StorageBytes())
+		acb.Table().ForEach(func(e *core.ACBEntry) {
+			fmt.Printf("  entry pc=%-5d %-7s recon=%-5d firstTaken=%-5v body=%-3d conf=%-2d dynamo=%s\n",
+				e.PC, e.Type, e.ReconPC, e.FirstTaken, e.BodySize, e.Confidence, e.State)
+		})
+	}
+
+	if *topN > 0 {
+		type row struct {
+			pc int
+			st *ooo.BranchStat
+		}
+		var rows []row
+		for pc, st := range res.PerBranch {
+			rows = append(rows, row{pc, st})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].st.Mispredict > rows[j].st.Mispredict })
+		fmt.Printf("\ntop mispredicting branches:\n")
+		for i, r := range rows {
+			if i >= *topN || r.st.Mispredict == 0 {
+				break
+			}
+			fmt.Printf("  pc=%-5d count=%-8d mispredict=%-7d predicated=%-7d diverged=%d\n",
+				r.pc, r.st.Count, r.st.Mispredict, r.st.Predicated, r.st.Diverged)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// Command acbsweep regenerates the paper's tables and figures on the
+// synthetic workload suite.
+//
+// Usage:
+//
+//	acbsweep -experiment fig6 -budget 400000
+//	acbsweep -experiment all -csv
+//
+// Experiments: fig1 fig6 fig7 fig8 fig9 fig10 fig11 scaling power census
+// table1 table3 all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"acb/internal/experiments"
+	"acb/internal/stats"
+	"acb/internal/viz"
+	"acb/internal/workload"
+)
+
+func main() {
+	var (
+		exp       = flag.String("experiment", "all", "experiment to run (fig1 fig6 fig7 fig8 fig9 fig10 fig11 scaling power census sens-n sens-epoch sens-acbtable sens-critical sens-predictor multirecon table1 table2 table3 all)")
+		budget    = flag.Int64("budget", 400_000, "retired-instruction budget per simulation")
+		names     = flag.String("workloads", "", "comma-separated workload subset (default: full suite)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot      = flag.Bool("plot", false, "render ASCII charts alongside the tables")
+		verbose   = flag.Bool("v", false, "per-run progress on stderr")
+		listNames = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *listNames {
+		for _, w := range workload.All() {
+			fmt.Printf("%-12s %-8s %s\n", w.Name, w.Category, w.Mirrors)
+		}
+		return
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.Budget = *budget
+	if *names != "" {
+		for _, n := range strings.Split(*names, ",") {
+			w, err := workload.ByName(strings.TrimSpace(n))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			opts.Workloads = append(opts.Workloads, w)
+		}
+	}
+	if *verbose {
+		opts.Verbose = true
+		opts.Logf = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	type entry struct {
+		name string
+		run  func() *stats.Table
+	}
+	all := []entry{
+		{"table1", func() *stats.Table { return experiments.TableI() }},
+		{"table2", func() *stats.Table { return experiments.TableII() }},
+		{"table3", func() *stats.Table { return experiments.TableIII() }},
+		{"fig1", func() *stats.Table { return experiments.Figure1(opts) }},
+		{"fig6", func() *stats.Table { return experiments.Figure6(opts) }},
+		{"fig7", func() *stats.Table { return experiments.Figure7(opts) }},
+		{"fig8", func() *stats.Table { return experiments.Figure8(opts) }},
+		{"fig9", func() *stats.Table { return experiments.Figure9(opts) }},
+		{"fig10", func() *stats.Table { return experiments.Figure10(opts) }},
+		{"fig11", func() *stats.Table { return experiments.Figure11(opts) }},
+		{"scaling", func() *stats.Table { return experiments.CoreScaling(opts) }},
+		{"power", func() *stats.Table { return experiments.PowerProxy(opts) }},
+		{"census", func() *stats.Table { return experiments.MispredictCensus(opts) }},
+		{"sens-n", func() *stats.Table { return experiments.SensitivityN(opts) }},
+		{"sens-epoch", func() *stats.Table { return experiments.SensitivityEpoch(opts) }},
+		{"sens-acbtable", func() *stats.Table { return experiments.SensitivityACBTable(opts) }},
+		{"sens-critical", func() *stats.Table { return experiments.SensitivityCriticalTable(opts) }},
+		{"sens-predictor", func() *stats.Table { return experiments.SensitivityPredictor(opts) }},
+		{"multirecon", func() *stats.Table { return experiments.MultiRecon(opts) }},
+	}
+
+	ran := false
+	for _, e := range all {
+		extra := strings.HasPrefix(e.name, "sens-") || e.name == "multirecon"
+		if *exp != e.name && !(*exp == "all" && !extra) {
+			continue
+		}
+		ran = true
+		fmt.Printf("== %s ==\n", e.name)
+		t := e.run()
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.String())
+		}
+		if *plot {
+			fmt.Println()
+			fmt.Print(renderPlot(e.name, t))
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}
+
+// renderPlot draws an ASCII chart for the figure tables that benefit from
+// one: speedup bar charts for fig6/fig8/fig11/scaling, and the Fig. 7
+// correlation scatter.
+func renderPlot(name string, t *stats.Table) string {
+	parse := func(cell string) (float64, bool) {
+		var v float64
+		if _, err := fmt.Sscanf(cell, "%g", &v); err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	switch name {
+	case "fig6", "fig8", "fig11", "scaling":
+		c := &viz.BarChart{Title: t.Header[1] + " (| = 1.0)", Reference: 1.0, Width: 44}
+		for _, row := range t.Rows {
+			if v, ok := parse(row[1]); ok {
+				c.Add(row[0], v)
+			}
+		}
+		return c.String()
+	case "fig7":
+		s := &viz.Scatter{
+			Title:  "mis-speculation ratio vs performance ratio (one point per workload)",
+			XLabel: "flush ratio (ACB/base)",
+			YLabel: "perf ratio (ACB/base)",
+		}
+		for _, row := range t.Rows {
+			x, okX := parse(row[2])
+			y, okY := parse(row[1])
+			if okX && okY {
+				s.Add(row[0], x, y)
+			}
+		}
+		return s.String()
+	}
+	return ""
+}

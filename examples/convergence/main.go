@@ -1,0 +1,130 @@
+// Convergence: demonstrates the Learning Table classifying the paper's
+// three convergence types (Fig. 3) plus a backward branch via the
+// perspective-swap transform (Fig. 4), by feeding it the committed
+// control-flow stream — the pure-hardware replacement for DMP's compiler
+// analysis.
+package main
+
+import (
+	"fmt"
+
+	"acb/internal/core"
+	"acb/internal/isa"
+	"acb/internal/prog"
+)
+
+// pad emits enough straight-line filler that the learning window (N=40)
+// expires before the next loop iteration reaches the candidate branch
+// again — as in real programs, where iterations are long.
+func pad(b *prog.Builder) {
+	for i := 0; i < 48; i++ {
+		b.AddI(isa.R5, isa.R5, 1)
+	}
+}
+
+// observeProgram runs the program functionally and feeds the committed
+// control flow to a learning table armed on branchPC, returning the
+// classification.
+func observeProgram(p []isa.Instruction, branchPC int, steps int) *core.Learned {
+	lt := core.NewLearningTable(40)
+	lt.Arm(branchPC, p[branchPC].Target)
+	st := isa.NewArchState(nil)
+	for i := 0; i < steps; i++ {
+		pc := st.PC
+		in := &p[pc]
+		res := st.Step(p)
+		if l := lt.Observe(pc, in.Op == isa.Br, in.IsControl(), res.Taken, in.Target, false); l != nil {
+			return l
+		}
+		if res.Halted {
+			break
+		}
+	}
+	return nil
+}
+
+func show(name string, p []isa.Instruction, branchPC int) {
+	fmt.Printf("— %s —\n", name)
+	l := observeProgram(p, branchPC, 100_000)
+	if l == nil {
+		fmt.Printf("branch pc=%d: not classified (non-convergent)\n\n", branchPC)
+		return
+	}
+	fmt.Printf("branch pc=%d (%s): %s, reconverges at pc=%d, fetch-%s-first, body=%d, backward=%v\n\n",
+		l.PC, p[branchPC].String(), l.Type, l.ReconPC,
+		map[bool]string{true: "taken", false: "not-taken"}[l.FirstTaken],
+		l.BodySize, l.Backward)
+}
+
+func main() {
+	// Every program alternates its branch via a counter bit in r9, so the
+	// learning table observes both directions.
+
+	// Type-1: IF without ELSE — reconvergence is the branch target.
+	{
+		b := prog.NewBuilder()
+		b.Label("top")
+		b.AddI(isa.R9, isa.R9, 1)
+		b.AndI(isa.R1, isa.R9, 1)
+		b.Brz(isa.R1, "skip") // <- the candidate branch
+		b.AddI(isa.R2, isa.R2, 1)
+		b.AddI(isa.R2, isa.R2, 2)
+		b.Label("skip")
+		pad(b)
+		b.Jmp("top")
+		show("Type-1 (IF-only hammock)", b.MustBuild(), 2)
+	}
+
+	// Type-2: IF-ELSE — the not-taken path's skip jump lands beyond the
+	// branch target.
+	{
+		b := prog.NewBuilder()
+		b.Label("top")
+		b.AddI(isa.R9, isa.R9, 1)
+		b.AndI(isa.R1, isa.R9, 1)
+		b.Brz(isa.R1, "else") // <- the candidate branch
+		b.AddI(isa.R2, isa.R2, 1)
+		b.Jmp("end") // Jumper: target beyond the branch target
+		b.Label("else")
+		b.AddI(isa.R2, isa.R2, 7)
+		b.Label("end")
+		pad(b)
+		b.Jmp("top")
+		show("Type-2 (IF-ELSE)", b.MustBuild(), 2)
+	}
+
+	// Type-3: the taken path sits after the fall-through region and jumps
+	// back to a point between the branch and its target.
+	{
+		b := prog.NewBuilder()
+		b.Label("top")
+		b.AddI(isa.R9, isa.R9, 1)
+		b.AndI(isa.R1, isa.R9, 1)
+		b.Brnz(isa.R1, "tpath") // <- the candidate branch
+		b.AddI(isa.R2, isa.R2, 7)
+		b.Label("recon")
+		pad(b)
+		b.Jmp("top")
+		b.Label("tpath")
+		b.AddI(isa.R2, isa.R2, 1)
+		b.Jmp("recon") // Jumper: target before the branch target
+		show("Type-3", b.MustBuild(), 2)
+	}
+
+	// Backward branch: the Fig. 4 transform learns it as a mirrored
+	// Type-1 (fetch the taken path first, reconverge at pc+1).
+	{
+		b := prog.NewBuilder()
+		b.Label("outer")
+		b.AddI(isa.R9, isa.R9, 1)
+		b.AndI(isa.R1, isa.R9, 3)
+		b.AddI(isa.R1, isa.R1, 1) // trip count 1..4
+		b.Label("body")
+		b.AddI(isa.R2, isa.R2, 1)
+		b.AddI(isa.R1, isa.R1, -1)
+		b.Brnz(isa.R1, "body") // <- backward candidate branch
+		pad(b)
+		b.Jmp("outer")
+		show("Backward branch (Fig. 4 transform)", b.MustBuild(), 5)
+	}
+}

@@ -1,0 +1,86 @@
+// Quickstart: build a small program with one hard-to-predict hammock,
+// simulate it on the Skylake-like baseline with and without ACB, and
+// print the comparison — the minimal end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+
+	"acb/internal/bpu"
+	"acb/internal/config"
+	"acb/internal/core"
+	"acb/internal/isa"
+	"acb/internal/ooo"
+	"acb/internal/prog"
+)
+
+func main() {
+	// A loop whose IF-ELSE hammock depends on effectively random data:
+	//   for i := 0; i < N; i++ {
+	//       v := table[i % period]
+	//       if v & 1 != 0 { acc += 3 } else { acc += 7 }
+	//   }
+	b := prog.NewBuilder()
+	b.MovI(isa.R1, 200_000) // iterations
+	b.MovI(isa.R2, 0x1000)  // table base
+	b.MovI(isa.R3, 0)       // i
+	b.MovI(isa.R7, 0)       // acc
+	b.Label("loop")
+	b.AndI(isa.R4, isa.R3, 8191)
+	b.MulI(isa.R4, isa.R4, 8)
+	b.Add(isa.R5, isa.R2, isa.R4)
+	b.Load(isa.R6, isa.R5, 0)
+	b.AndI(isa.R6, isa.R6, 1)
+	b.Brz(isa.R6, "else")
+	b.AddI(isa.R7, isa.R7, 3)
+	b.Jmp("end")
+	b.Label("else")
+	b.AddI(isa.R7, isa.R7, 7)
+	b.Label("end")
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Sub(isa.R8, isa.R3, isa.R1)
+	b.Brnz(isa.R8, "loop")
+	b.Halt()
+	program := b.MustBuild()
+
+	// Fill the table with pseudo-random words.
+	image := isa.NewMemory()
+	x := uint64(0x2545F4914F6CDD1D)
+	for i := int64(0); i < 8192; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		image.Store(0x1000+i*8, int64(x&0xFFFF))
+	}
+
+	run := func(scheme ooo.Scheme, label string) ooo.Result {
+		c := ooo.NewWithMemory(
+			config.Skylake(),
+			program,
+			bpu.NewTAGE(bpu.DefaultTAGEConfig()),
+			scheme,
+			image.Clone(),
+		)
+		res, err := c.Run(2_000_000)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-8s IPC %.3f   mispredicts/kilo %.2f   flushes %d\n",
+			label, res.IPC, res.MispredPerKilo(), res.Flushes)
+		return res
+	}
+
+	fmt.Println("quickstart: one H2P IF-ELSE hammock, 200K iterations")
+	base := run(nil, "baseline")
+	acb := core.New(core.DefaultConfig())
+	with := run(acb, "acb")
+
+	fmt.Printf("\nACB speedup: %.2fx   flush reduction: %.0f%%   hardware: %d bytes\n",
+		with.IPC/base.IPC,
+		(1-float64(with.Flushes)/float64(base.Flushes))*100,
+		acb.StorageBytes())
+	acb.Table().ForEach(func(e *core.ACBEntry) {
+		fmt.Printf("learned: branch pc=%d %s reconverges at pc=%d (body %d, Dynamo %s)\n",
+			e.PC, e.Type, e.ReconPC, e.BodySize, e.State)
+	})
+}

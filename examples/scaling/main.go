@@ -1,0 +1,51 @@
+// Scaling: reproduces the spirit of the paper's Fig. 1 and Sec. V-D on a
+// few workloads — the cost of branch mis-speculation (perfect-BP headroom)
+// grows as the core scales wider and deeper, and ACB's gain grows with it.
+package main
+
+import (
+	"fmt"
+
+	"acb/internal/bpu"
+	"acb/internal/config"
+	"acb/internal/core"
+	"acb/internal/ooo"
+	"acb/internal/stats"
+	"acb/internal/workload"
+)
+
+func main() {
+	names := []string{"gobmk", "sjeng", "leela", "lammps", "compression"}
+	configs := []config.Core{config.Scaled(1), config.Scaled(2), config.Scaled(3), config.Future()}
+
+	fmt.Println("geomean over:", names)
+	fmt.Printf("%-14s %-22s %-16s\n", "config", "perfect-BP headroom", "ACB speedup")
+
+	for _, cfg := range configs {
+		var perfect, acbGain []float64
+		for _, n := range names {
+			w, err := workload.ByName(n)
+			if err != nil {
+				panic(err)
+			}
+			base := run(w, cfg, bpu.NewTAGE(bpu.DefaultTAGEConfig()), nil)
+			oracle := run(w, cfg, bpu.NewOracle(), nil)
+			acb := run(w, cfg, bpu.NewTAGE(bpu.DefaultTAGEConfig()), core.New(core.DefaultConfig()))
+			perfect = append(perfect, oracle.IPC/base.IPC)
+			acbGain = append(acbGain, acb.IPC/base.IPC)
+		}
+		fmt.Printf("%-14s %-22.3f %-16.3f\n", cfg.Name, stats.Geomean(perfect), stats.Geomean(acbGain))
+	}
+	fmt.Println("\nThe perfect-BP column is the Fig. 1 trend: deeper/wider cores are")
+	fmt.Println("increasingly bound by mis-speculation; ACB's gain follows (Sec. V-D).")
+}
+
+func run(w workload.Workload, cfg config.Core, pred bpu.Predictor, scheme ooo.Scheme) ooo.Result {
+	p, m := w.Build()
+	c := ooo.NewWithMemory(cfg, p, pred, scheme, m)
+	res, err := c.Run(400_000)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

@@ -1,0 +1,3 @@
+module acb
+
+go 1.22

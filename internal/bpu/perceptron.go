@@ -1,0 +1,150 @@
+package bpu
+
+// Perceptron is a global-history perceptron predictor (Jimenez & Lin,
+// HPCA'01), included as an alternative baseline predictor for sensitivity
+// studies.
+type Perceptron struct {
+	bits    uint
+	histLen int
+	theta   int32
+	weights [][]int8
+	hist    uint64
+}
+
+// NewPerceptron returns a perceptron predictor with 2^bits perceptrons and
+// histLen history bits (≤ 62).
+func NewPerceptron(bits uint, histLen int) *Perceptron {
+	if histLen > 62 {
+		histLen = 62
+	}
+	p := &Perceptron{
+		bits:    bits,
+		histLen: histLen,
+		theta:   int32(1.93*float64(histLen) + 14),
+	}
+	p.weights = make([][]int8, 1<<bits)
+	for i := range p.weights {
+		p.weights[i] = make([]int8, histLen+1) // +1 bias weight
+	}
+	return p
+}
+
+// Name implements Predictor.
+func (p *Perceptron) Name() string { return "perceptron" }
+
+// Predict implements Predictor.
+func (p *Perceptron) Predict(pc uint64, _ bool) Prediction {
+	idx := mix(pc, 0, p.bits)
+	w := p.weights[idx]
+	sum := int32(w[0]) // bias
+	for i := 0; i < p.histLen; i++ {
+		if (p.hist>>uint(i))&1 == 1 {
+			sum += int32(w[i+1])
+		} else {
+			sum -= int32(w[i+1])
+		}
+	}
+	conf := 0
+	if sum >= p.theta || sum <= -p.theta {
+		conf = 1
+	}
+	return Prediction{
+		Taken:   sum >= 0,
+		Hist:    p.hist,
+		baseIdx: idx,
+		sum:     sum,
+		Conf:    conf,
+	}
+}
+
+// Update implements Predictor.
+func (p *Perceptron) Update(_ uint64, pred Prediction, taken bool) {
+	mispred := pred.Taken != taken
+	mag := pred.sum
+	if mag < 0 {
+		mag = -mag
+	}
+	if !mispred && mag > p.theta {
+		return
+	}
+	w := p.weights[pred.baseIdx]
+	t := int8(-1)
+	if taken {
+		t = 1
+	}
+	w[0] = satW(w[0], t)
+	for i := 0; i < p.histLen; i++ {
+		x := int8(-1)
+		if (pred.Hist>>uint(i))&1 == 1 {
+			x = 1
+		}
+		w[i+1] = satW(w[i+1], t*x)
+	}
+}
+
+func satW(w, d int8) int8 {
+	v := int16(w) + int16(d)
+	if v > 127 {
+		v = 127
+	}
+	if v < -128 {
+		v = -128
+	}
+	return int8(v)
+}
+
+// History implements Predictor.
+func (p *Perceptron) History() uint64 { return p.hist }
+
+// SetHistory implements Predictor.
+func (p *Perceptron) SetHistory(h uint64) { p.hist = h }
+
+// PushHistory implements Predictor.
+func (p *Perceptron) PushHistory(pc uint64, taken bool) {
+	p.hist = historyPush(p.hist, pc, taken)
+}
+
+// JRSConfidence is a Jacobsen-Rotenberg-Smith style confidence estimator:
+// a table of resetting counters indexed by pc⊕history. DMP uses it to
+// decide which branch instances to predicate (low confidence ⇒ predicate).
+type JRSConfidence struct {
+	bits      uint
+	histLen   uint
+	threshold int8
+	ctrs      []int8
+}
+
+// NewJRSConfidence returns an estimator with 2^bits counters, histLen bits
+// of history folded into the index, and the given high-confidence
+// threshold (counter ≥ threshold ⇒ confident).
+func NewJRSConfidence(bits, histLen uint, threshold int8) *JRSConfidence {
+	return &JRSConfidence{
+		bits:      bits,
+		histLen:   histLen,
+		threshold: threshold,
+		ctrs:      make([]int8, 1<<bits),
+	}
+}
+
+func (j *JRSConfidence) index(pc, hist uint64) uint32 {
+	return mix(pc, hist&histMask(j.histLen), j.bits)
+}
+
+// Confident reports whether the branch instance has high prediction
+// confidence.
+func (j *JRSConfidence) Confident(pc, hist uint64) bool {
+	return j.ctrs[j.index(pc, hist)] >= j.threshold
+}
+
+// Update trains the estimator with the resolved outcome: increment
+// (saturating at 15) on a correct prediction, reset on a misprediction.
+func (j *JRSConfidence) Update(pc, hist uint64, correct bool) {
+	idx := j.index(pc, hist)
+	if correct {
+		if j.ctrs[idx] < 15 {
+			j.ctrs[idx]++
+		}
+	} else {
+		j.ctrs[idx] = 0
+	}
+}

@@ -1,0 +1,151 @@
+package bpu
+
+// Bimodal is a per-PC 2-bit saturating counter predictor.
+type Bimodal struct {
+	bits uint
+	ctrs []int8
+	hist uint64
+}
+
+// NewBimodal returns a bimodal predictor with 2^bits counters.
+func NewBimodal(bits uint) *Bimodal {
+	return &Bimodal{bits: bits, ctrs: make([]int8, 1<<bits)}
+}
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return "bimodal" }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64, _ bool) Prediction {
+	idx := mix(pc, 0, b.bits)
+	c := b.ctrs[idx]
+	return Prediction{
+		Taken:   c >= 2,
+		Hist:    b.hist,
+		baseIdx: idx,
+		Conf:    confFrom2bit(c),
+	}
+}
+
+// Update implements Predictor.
+func (b *Bimodal) Update(_ uint64, pred Prediction, taken bool) {
+	b.ctrs[pred.baseIdx] = sat2(b.ctrs[pred.baseIdx], taken)
+}
+
+// History implements Predictor.
+func (b *Bimodal) History() uint64 { return b.hist }
+
+// SetHistory implements Predictor.
+func (b *Bimodal) SetHistory(h uint64) { b.hist = h }
+
+// PushHistory implements Predictor.
+func (b *Bimodal) PushHistory(pc uint64, taken bool) {
+	b.hist = historyPush(b.hist, pc, taken)
+}
+
+// GShare is a global-history-indexed 2-bit counter predictor.
+type GShare struct {
+	bits    uint
+	histLen uint
+	ctrs    []int8
+	hist    uint64
+}
+
+// NewGShare returns a gshare predictor with 2^bits counters and histLen
+// bits of global history (≤64).
+func NewGShare(bits, histLen uint) *GShare {
+	if histLen > 64 {
+		histLen = 64
+	}
+	return &GShare{bits: bits, histLen: histLen, ctrs: make([]int8, 1<<bits)}
+}
+
+// Name implements Predictor.
+func (g *GShare) Name() string { return "gshare" }
+
+func (g *GShare) histMask() uint64 {
+	if g.histLen >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << g.histLen) - 1
+}
+
+// Predict implements Predictor.
+func (g *GShare) Predict(pc uint64, _ bool) Prediction {
+	idx := mix(pc, g.hist&g.histMask(), g.bits)
+	c := g.ctrs[idx]
+	return Prediction{
+		Taken:   c >= 2,
+		Hist:    g.hist,
+		baseIdx: idx,
+		Conf:    confFrom2bit(c),
+	}
+}
+
+// Update implements Predictor.
+func (g *GShare) Update(_ uint64, pred Prediction, taken bool) {
+	g.ctrs[pred.baseIdx] = sat2(g.ctrs[pred.baseIdx], taken)
+}
+
+// History implements Predictor.
+func (g *GShare) History() uint64 { return g.hist }
+
+// SetHistory implements Predictor.
+func (g *GShare) SetHistory(h uint64) { g.hist = h }
+
+// PushHistory implements Predictor.
+func (g *GShare) PushHistory(pc uint64, taken bool) {
+	g.hist = historyPush(g.hist, pc, taken)
+}
+
+// Oracle always predicts the architecturally-correct outcome; it models
+// the perfect branch predictor of the paper's Fig. 1 study.
+type Oracle struct{ hist uint64 }
+
+// NewOracle returns an oracle predictor.
+func NewOracle() *Oracle { return &Oracle{} }
+
+// Name implements Predictor.
+func (o *Oracle) Name() string { return "oracle" }
+
+// Predict implements Predictor.
+func (o *Oracle) Predict(_ uint64, oracleTaken bool) Prediction {
+	return Prediction{Taken: oracleTaken, Hist: o.hist, Conf: 15}
+}
+
+// Update implements Predictor.
+func (o *Oracle) Update(uint64, Prediction, bool) {}
+
+// History implements Predictor.
+func (o *Oracle) History() uint64 { return o.hist }
+
+// SetHistory implements Predictor.
+func (o *Oracle) SetHistory(h uint64) { o.hist = h }
+
+// PushHistory implements Predictor.
+func (o *Oracle) PushHistory(pc uint64, taken bool) {
+	o.hist = historyPush(o.hist, pc, taken)
+}
+
+// sat2 advances a 2-bit saturating counter (0..3) toward the outcome.
+func sat2(c int8, taken bool) int8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// confFrom2bit maps a 2-bit counter to a 0..1 confidence proxy
+// (strong = 1, weak = 0).
+func confFrom2bit(c int8) int {
+	if c == 0 || c == 3 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,96 @@
+// Package config defines the simulated core configurations: a baseline
+// similar in parameters to the Intel Skylake processor (the paper's
+// Table II) and the scaled-up variants used by Fig. 1 and Section V-D.
+package config
+
+import "acb/internal/mem"
+
+// Core holds the micro-architectural parameters of a simulated core.
+type Core struct {
+	Name string
+
+	FetchWidth  int // instructions fetched per cycle
+	AllocWidth  int // rename/allocate (OOO allocation) width
+	IssueWidth  int // max instructions issued to execution per cycle
+	RetireWidth int // commit width
+
+	ROBSize int
+	IQSize  int
+	LQSize  int
+	SQSize  int
+	PRFSize int
+
+	// FrontEndLatency is the fetch-to-rename depth in cycles; it is also
+	// the redirect (flush) latency charged on a misprediction, i.e. the
+	// paper's mispred_penalty pipeline component.
+	FrontEndLatency int
+
+	Mem mem.HierarchyConfig
+}
+
+// Skylake returns the baseline configuration, similar in parameters to the
+// Intel Skylake core the paper baselines against: 4-wide allocation,
+// 224-entry ROB, 97-entry scheduler, 72/56 load/store queues, ~16-cycle
+// redirect.
+func Skylake() Core {
+	return Core{
+		Name:            "skylake-1x",
+		FetchWidth:      6,
+		AllocWidth:      4,
+		IssueWidth:      8,
+		RetireWidth:     4,
+		ROBSize:         224,
+		IQSize:          97,
+		LQSize:          72,
+		SQSize:          56,
+		PRFSize:         280,
+		FrontEndLatency: 16,
+		Mem:             mem.SkylakeHierarchy(),
+	}
+}
+
+// Scaled returns the Skylake configuration scaled by the given factor in
+// both width and depth, as in the paper's Fig. 1 continuum (1x, 2x, 3x).
+func Scaled(factor int) Core {
+	c := Skylake()
+	c.Name = scaledName(factor)
+	c.FetchWidth *= factor
+	c.AllocWidth *= factor
+	c.IssueWidth *= factor
+	c.RetireWidth *= factor
+	c.ROBSize *= factor
+	c.IQSize *= factor
+	c.LQSize *= factor
+	c.SQSize *= factor
+	c.PRFSize *= factor
+	return c
+}
+
+func scaledName(factor int) string {
+	switch factor {
+	case 1:
+		return "skylake-1x"
+	case 2:
+		return "skylake-2x"
+	case 3:
+		return "skylake-3x"
+	}
+	return "skylake-nx"
+}
+
+// Future returns the Section V-D configuration: 8-wide with twice the
+// execution and fetch resources of the baseline.
+func Future() Core {
+	c := Skylake()
+	c.Name = "future-8wide"
+	c.FetchWidth = 12
+	c.AllocWidth = 8
+	c.IssueWidth = 16
+	c.RetireWidth = 8
+	c.ROBSize *= 2
+	c.IQSize *= 2
+	c.LQSize *= 2
+	c.SQSize *= 2
+	c.PRFSize *= 2
+	return c
+}

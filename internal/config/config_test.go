@@ -1,0 +1,58 @@
+package config
+
+import "testing"
+
+func TestSkylakeParameters(t *testing.T) {
+	c := Skylake()
+	if c.AllocWidth != 4 {
+		t.Errorf("alloc width = %d, want 4 (paper's Skylake-like baseline)", c.AllocWidth)
+	}
+	if c.ROBSize != 224 {
+		t.Errorf("ROB = %d, want 224", c.ROBSize)
+	}
+	if c.IQSize != 97 {
+		t.Errorf("IQ = %d, want 97", c.IQSize)
+	}
+	if c.LQSize != 72 || c.SQSize != 56 {
+		t.Errorf("LQ/SQ = %d/%d, want 72/56", c.LQSize, c.SQSize)
+	}
+	if c.PRFSize <= c.ROBSize+16 {
+		t.Errorf("PRF %d cannot cover ROB %d + architectural registers", c.PRFSize, c.ROBSize)
+	}
+	if c.FrontEndLatency <= 0 {
+		t.Error("front-end latency must be positive")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	base := Skylake()
+	for _, f := range []int{1, 2, 3} {
+		c := Scaled(f)
+		if c.AllocWidth != base.AllocWidth*f {
+			t.Errorf("scale %d alloc = %d", f, c.AllocWidth)
+		}
+		if c.ROBSize != base.ROBSize*f {
+			t.Errorf("scale %d ROB = %d", f, c.ROBSize)
+		}
+		if c.Name == "" {
+			t.Error("scaled config needs a name")
+		}
+	}
+	if Scaled(1).Name != "skylake-1x" || Scaled(3).Name != "skylake-3x" {
+		t.Error("scaled names wrong")
+	}
+}
+
+func TestFuture(t *testing.T) {
+	c := Future()
+	if c.AllocWidth != 8 {
+		t.Errorf("future alloc = %d, want 8 (Sec. V-D: 8-wide)", c.AllocWidth)
+	}
+	base := Skylake()
+	if c.ROBSize != 2*base.ROBSize || c.IQSize != 2*base.IQSize {
+		t.Error("future core must double execution resources")
+	}
+	if c.FetchWidth != 2*base.FetchWidth {
+		t.Error("future core must double fetch resources")
+	}
+}

@@ -1,0 +1,108 @@
+package core_test
+
+import (
+	"testing"
+
+	"acb/internal/bpu"
+	"acb/internal/config"
+	"acb/internal/core"
+	"acb/internal/isa"
+	"acb/internal/ooo"
+	"acb/internal/prog"
+)
+
+// buildH2PHammock builds a loop with a hard-to-predict IF-ELSE hammock:
+// the branch condition comes from a long-period xorshift stream stored in
+// memory, which TAGE cannot learn.
+func buildH2PHammock(iters, period int64) ([]isa.Instruction, *isa.Memory) {
+	b := prog.NewBuilder()
+	b.MovI(isa.R1, iters)
+	b.MovI(isa.R2, 0x1000)
+	b.MovI(isa.R3, 0)
+	b.MovI(isa.R7, 0)
+	b.Label("loop")
+	b.AndI(isa.R4, isa.R3, period-1)
+	b.MulI(isa.R4, isa.R4, 8)
+	b.Add(isa.R5, isa.R2, isa.R4)
+	b.Load(isa.R6, isa.R5, 0)
+	b.AndI(isa.R6, isa.R6, 1)
+	b.Brz(isa.R6, "else")
+	b.AddI(isa.R7, isa.R7, 3)
+	b.Xor(isa.R9, isa.R7, isa.R3)
+	b.Jmp("end")
+	b.Label("else")
+	b.AddI(isa.R7, isa.R7, 7)
+	b.Label("end")
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Sub(isa.R8, isa.R3, isa.R1)
+	b.Brnz(isa.R8, "loop")
+	b.Halt()
+	p := b.MustBuild()
+
+	m := isa.NewMemory()
+	x := uint64(0x9E3779B9)
+	for i := int64(0); i < period; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		m.Store(0x1000+i*8, int64(x&0xFFFF))
+	}
+	return p, m
+}
+
+func run(t *testing.T, p []isa.Instruction, m *isa.Memory, scheme ooo.Scheme, max int64) ooo.Result {
+	t.Helper()
+	c := ooo.NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), scheme, m.Clone())
+	res, err := c.Run(max)
+	if err != nil {
+		t.Fatalf("run (%s): %v", res.Scheme, err)
+	}
+	if !res.Halted {
+		t.Fatalf("run (%s) did not halt: retired=%d", res.Scheme, res.Retired)
+	}
+	return res
+}
+
+// TestACBEndToEnd: ACB must learn the H2P hammock, predicate it, remove
+// most flushes, improve IPC, and stay architecturally correct.
+func TestACBEndToEnd(t *testing.T) {
+	// A large unpredictable period so TAGE keeps mispredicting.
+	p, m := buildH2PHammock(30_000, 8192)
+
+	want := isa.NewArchState(m.Clone())
+	if _, halted := want.Run(p, 3_000_000); !halted {
+		t.Fatal("functional run did not halt")
+	}
+
+	base := run(t, p, m, nil, 3_000_000)
+
+	cfg := core.DefaultConfig()
+	acb := core.New(cfg)
+	withACB := run(t, p, m, acb, 3_000_000)
+
+	for r := 0; r < isa.NumRegs; r++ {
+		if withACB.FinalRegs[r] != want.Regs[r] {
+			t.Errorf("ACB run r%d = %d, want %d", r, withACB.FinalRegs[r], want.Regs[r])
+		}
+	}
+
+	if base.Mispredicts < 1000 {
+		t.Fatalf("baseline not H2P enough: %d mispredicts", base.Mispredicts)
+	}
+	if acb.Learnings == 0 {
+		t.Fatalf("ACB learned no convergences")
+	}
+	if withACB.Predications == 0 {
+		t.Fatalf("ACB never predicated")
+	}
+	if withACB.Flushes >= base.Flushes {
+		t.Errorf("ACB flushes %d not below baseline %d", withACB.Flushes, base.Flushes)
+	}
+	if withACB.IPC <= base.IPC {
+		t.Errorf("ACB IPC %.3f not above baseline %.3f", withACB.IPC, base.IPC)
+	}
+	t.Logf("baseline: IPC=%.3f flushes=%d mispredicts=%d", base.IPC, base.Flushes, base.Mispredicts)
+	t.Logf("acb:      IPC=%.3f flushes=%d mispredicts=%d predications=%d divergences=%d learned=%d",
+		withACB.IPC, withACB.Flushes, withACB.Mispredicts, withACB.Predications, acb.Divergences, acb.Learnings)
+	t.Logf("storage: %d bytes", acb.StorageBytes())
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"acb/internal/ooo"
+)
+
+// installConfident puts a learned entry into the engine's table with
+// confidence above the application threshold and a Dynamo state.
+func installConfident(a *ACB, pc int, state DynState) *ACBEntry {
+	e := a.table.Install(&Learned{PC: pc, Type: Type2, ReconPC: pc + 10, BodySize: 4})
+	e.Confidence = 40
+	e.State = state
+	return e
+}
+
+func TestShouldPredicateRequiresConfidence(t *testing.T) {
+	a := New(DefaultConfig())
+	e := a.table.Install(&Learned{PC: 100, Type: Type1, ReconPC: 105, BodySize: 4})
+	if _, ok := a.ShouldPredicate(100, false, 0, 0); ok {
+		t.Fatal("predicated without confidence")
+	}
+	e.Confidence = 40
+	e.State = DynGood
+	spec, ok := a.ShouldPredicate(100, false, 0, 0)
+	if !ok {
+		t.Fatal("confident GOOD entry not predicated")
+	}
+	if spec.ReconPC != 105 || spec.Eager {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if _, ok := a.ShouldPredicate(101, false, 0, 0); ok {
+		t.Fatal("unknown pc predicated")
+	}
+}
+
+func TestShouldPredicateHonoursDynamo(t *testing.T) {
+	a := New(DefaultConfig())
+	bad := installConfident(a, 100, DynBad)
+	good := installConfident(a, 101, DynGood)
+	neutral := installConfident(a, 102, DynNeutral)
+	_ = bad
+	_ = good
+	_ = neutral
+
+	if _, ok := a.ShouldPredicate(100, false, 0, 0); ok {
+		t.Fatal("BAD entry predicated")
+	}
+	if _, ok := a.ShouldPredicate(101, false, 0, 0); !ok {
+		t.Fatal("GOOD entry blocked")
+	}
+	// Epoch 0 is a baseline (disable) epoch: NEUTRAL entries are blocked.
+	if _, ok := a.ShouldPredicate(102, false, 0, 0); ok {
+		t.Fatal("NEUTRAL entry predicated in a disable epoch")
+	}
+}
+
+func TestShouldPredicateWithoutDynamo(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseDynamo = false
+	a := New(cfg)
+	installConfident(a, 100, DynNeutral)
+	if _, ok := a.ShouldPredicate(100, false, 0, 0); !ok {
+		t.Fatal("confident entry blocked with Dynamo disabled")
+	}
+	if a.Name() != "acb-nodynamo" {
+		t.Fatalf("name = %q", a.Name())
+	}
+}
+
+func TestConfidenceBuildsOnMispredicts(t *testing.T) {
+	a := New(DefaultConfig())
+	e := a.table.Install(&Learned{PC: 100, Type: Type1, ReconPC: 105, BodySize: 4})
+	for i := 0; i < 40; i++ {
+		a.OnBranchResolve(ooo.ResolveEvent{PC: 100, Mispredict: true})
+	}
+	if e.Confidence <= a.cfg.ApplyThreshold {
+		t.Fatalf("confidence = %d after 40 mispredicts", e.Confidence)
+	}
+	// Saturation at 63.
+	for i := 0; i < 100; i++ {
+		a.OnBranchResolve(ooo.ResolveEvent{PC: 100, Mispredict: true})
+	}
+	if e.Confidence != 63 {
+		t.Fatalf("confidence = %d, want saturation at 63", e.Confidence)
+	}
+}
+
+func TestConfidenceDecaysOnCorrects(t *testing.T) {
+	a := New(DefaultConfig())
+	e := a.table.Install(&Learned{PC: 100, Type: Type1, ReconPC: 105, BodySize: 64})
+	e.Confidence = 63
+	// Big body -> M = 3 -> ~1/4 decay probability per correct prediction.
+	for i := 0; i < 2000; i++ {
+		a.OnBranchResolve(ooo.ResolveEvent{PC: 100, Mispredict: false})
+	}
+	if e.Confidence != 0 {
+		t.Fatalf("confidence = %d after 2000 corrects, want 0", e.Confidence)
+	}
+}
+
+// TestConfidenceEquilibrium: the probabilistic counter implements the
+// body-size→required-rate mapping — a branch mispredicting well above the
+// class rate saturates, one well below drains.
+func TestConfidenceEquilibrium(t *testing.T) {
+	run := func(body int, rate float64) uint8 {
+		a := New(DefaultConfig())
+		e := a.table.Install(&Learned{PC: 100, Type: Type1, ReconPC: 105, BodySize: body})
+		e.Confidence = 32
+		x := uint64(12345)
+		for i := 0; i < 20000; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			mis := float64(x%1000) < rate*1000
+			a.OnBranchResolve(ooo.ResolveEvent{PC: 100, Mispredict: mis})
+		}
+		return e.Confidence
+	}
+	// Small body (m = 1/32): 10% misprediction is plenty.
+	if c := run(4, 0.10); c < 50 {
+		t.Errorf("small body at 10%%: confidence %d, want saturated-ish", c)
+	}
+	// Big body (m = 1/4): 10% misprediction cannot sustain confidence.
+	if c := run(64, 0.10); c > 20 {
+		t.Errorf("big body at 10%%: confidence %d, want drained", c)
+	}
+}
+
+func TestDivergenceResetsConfidence(t *testing.T) {
+	a := New(DefaultConfig())
+	e := installConfident(a, 100, DynNeutral)
+	a.OnBranchResolve(ooo.ResolveEvent{PC: 100, Predicated: true, Diverged: true})
+	if e.Confidence != 0 || e.Utility != 0 {
+		t.Fatalf("confidence/utility = %d/%d after divergence, want 0/0", e.Confidence, e.Utility)
+	}
+	if a.Divergences != 1 {
+		t.Fatalf("divergence count = %d", a.Divergences)
+	}
+}
+
+func TestCriticalFilterArmsLearning(t *testing.T) {
+	a := New(DefaultConfig())
+	for i := 0; i < 15; i++ {
+		a.OnBranchResolve(ooo.ResolveEvent{PC: 100, Target: 110, Mispredict: true})
+	}
+	if !a.learning.Occupied() || a.learning.CandidatePC() != 100 {
+		t.Fatal("learning table not armed after critical saturation")
+	}
+	// A second saturating branch must wait (single-entry learning).
+	for i := 0; i < 15; i++ {
+		a.OnBranchResolve(ooo.ResolveEvent{PC: 200, Target: 210, Mispredict: true})
+	}
+	if a.learning.CandidatePC() != 100 {
+		t.Fatal("learning table candidate clobbered")
+	}
+}
+
+func TestROBFracHeuristicFiltersShadowedMispredicts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ROBFracLimit = 0.25
+	a := New(cfg)
+	// Mispredicts detected far from the ROB head (shadowed) do not train.
+	for i := 0; i < 30; i++ {
+		a.OnBranchResolve(ooo.ResolveEvent{PC: 100, Target: 110, Mispredict: true, ROBFrac: 0.9})
+	}
+	if a.learning.Occupied() {
+		t.Fatal("shadowed mispredicts trained the critical filter")
+	}
+	for i := 0; i < 15; i++ {
+		a.OnBranchResolve(ooo.ResolveEvent{PC: 100, Target: 110, Mispredict: true, ROBFrac: 0.1})
+	}
+	if !a.learning.Occupied() {
+		t.Fatal("near-head mispredicts did not train")
+	}
+}
+
+func TestLearningInstallsIntoACBTable(t *testing.T) {
+	a := New(DefaultConfig())
+	a.learning.Arm(100, 104)
+	// Feed a not-taken instance reaching the target: Type-1.
+	a.OnFetch(ooo.FetchEvent{PC: 100, IsBranch: true, IsControl: true, Taken: false, Target: 104})
+	a.OnFetch(ooo.FetchEvent{PC: 101})
+	a.OnFetch(ooo.FetchEvent{PC: 102})
+	a.OnFetch(ooo.FetchEvent{PC: 103})
+	a.OnFetch(ooo.FetchEvent{PC: 104})
+	e := a.table.Lookup(100)
+	if e == nil {
+		t.Fatal("learned convergence not installed")
+	}
+	if e.Type != Type1 || e.ReconPC != 104 {
+		t.Fatalf("entry %+v", e)
+	}
+	if a.Learnings != 1 {
+		t.Fatalf("learnings = %d", a.Learnings)
+	}
+}
+
+func TestTrackingFailureResetsEntryConfidence(t *testing.T) {
+	a := New(DefaultConfig())
+	e := a.table.Install(&Learned{PC: 100, Type: Type1, ReconPC: 200, BodySize: 4})
+	e.Confidence = 20 // below threshold: the tracker monitors it
+	// A fetched instance arms the tracker...
+	a.OnFetch(ooo.FetchEvent{PC: 100, IsBranch: true, IsControl: true, Taken: false, Target: 200})
+	// ...and the reconvergence point never shows up.
+	for pc := 300; pc < 300+200; pc++ {
+		a.OnFetch(ooo.FetchEvent{PC: pc})
+	}
+	if e.Confidence != 0 {
+		t.Fatalf("confidence = %d after tracking failure, want 0", e.Confidence)
+	}
+	if a.TrackFails != 1 {
+		t.Fatalf("track fails = %d", a.TrackFails)
+	}
+}
+
+func TestWindowResetClearsCriticalCounts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WindowInstrs = 100
+	a := New(cfg)
+	for i := 0; i < 10; i++ {
+		a.OnBranchResolve(ooo.ResolveEvent{PC: 100, Target: 110, Mispredict: true})
+	}
+	if a.critical.Critical(100) != 10 {
+		t.Fatalf("critical = %d", a.critical.Critical(100))
+	}
+	for i := 0; i < 100; i++ {
+		a.OnRetireTick(int64(i))
+	}
+	if a.critical.Critical(100) != 0 {
+		t.Fatal("window did not reset the counter")
+	}
+}
+
+func TestStorageReportMentionsAllTables(t *testing.T) {
+	a := New(DefaultConfig())
+	rep := a.StorageReport()
+	for _, want := range []string{"Critical Table", "Learning Table", "ACB Table", "Tracking Table", "Dynamo", "386"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("storage report missing %q:\n%s", want, rep)
+		}
+	}
+	if a.StorageBytes() != 386 {
+		t.Fatalf("storage = %d bytes, want the paper's 386", a.StorageBytes())
+	}
+}
+
+func TestOnFlushAbortsObservations(t *testing.T) {
+	a := New(DefaultConfig())
+	a.learning.Arm(100, 104)
+	a.OnFetch(ooo.FetchEvent{PC: 100, IsBranch: true, IsControl: true, Taken: false, Target: 104})
+	if !a.learning.watching {
+		t.Fatal("setup: learning not watching")
+	}
+	a.tracking.Arm(50, 60)
+	a.OnFlush()
+	if a.learning.watching {
+		t.Fatal("flush did not abort the learning observation")
+	}
+	if a.tracking.Active() {
+		t.Fatal("flush did not abort the tracker")
+	}
+	if !a.learning.Occupied() {
+		t.Fatal("flush must keep the learning candidate")
+	}
+}
+
+func TestMultiReconPromotion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MultiRecon = true
+	a := New(cfg)
+	e := installConfident(a, 100, DynGood)
+	e.ReconPC = 110
+
+	// A diverged instance whose true path re-joined at 130 promotes a
+	// second reconvergence point without losing confidence.
+	a.OnBranchResolve(ooo.ResolveEvent{PC: 100, Predicated: true, Diverged: true, ReconHint: 130})
+	if e.ReconPC2 != 130 || !e.UseRecon2 {
+		t.Fatalf("entry after promotion: recon2=%d use=%v", e.ReconPC2, e.UseRecon2)
+	}
+	if e.Confidence == 0 {
+		t.Fatal("promotion must keep confidence")
+	}
+	if a.ReconPromotions != 1 {
+		t.Fatalf("promotions = %d", a.ReconPromotions)
+	}
+	spec, ok := a.ShouldPredicate(100, false, 0, 0)
+	if !ok || spec.ReconPC != 130 {
+		t.Fatalf("spec uses recon %d, want promoted 130", spec.ReconPC)
+	}
+
+	// Further divergence beyond the promoted point promotes again.
+	a.OnBranchResolve(ooo.ResolveEvent{PC: 100, Predicated: true, Diverged: true, ReconHint: 140})
+	if e.ReconPC2 != 140 {
+		t.Fatalf("recon2 = %d, want 140", e.ReconPC2)
+	}
+
+	// Divergence without a usable hint falls back to the paper's reset.
+	a.OnBranchResolve(ooo.ResolveEvent{PC: 100, Predicated: true, Diverged: true, ReconHint: -1})
+	if e.Confidence != 0 || e.ReconPC2 != 0 || e.UseRecon2 {
+		t.Fatalf("entry not reset: conf=%d recon2=%d use=%v", e.Confidence, e.ReconPC2, e.UseRecon2)
+	}
+}
+
+func TestMultiReconDisabledKeepsPaperBehaviour(t *testing.T) {
+	a := New(DefaultConfig())
+	e := installConfident(a, 100, DynGood)
+	a.OnBranchResolve(ooo.ResolveEvent{PC: 100, Predicated: true, Diverged: true, ReconHint: 130})
+	if e.Confidence != 0 || e.ReconPC2 != 0 {
+		t.Fatal("default config must reset on divergence (Sec. III-C1)")
+	}
+	if a.Name() != "acb" {
+		t.Fatalf("name = %q", a.Name())
+	}
+	cfg := DefaultConfig()
+	cfg.MultiRecon = true
+	if New(cfg).Name() != "acb-mr" {
+		t.Fatal("acb-mr name")
+	}
+}

@@ -1,0 +1,114 @@
+// Package core implements Auto-Predication of Critical Branches (ACB),
+// the paper's primary contribution: a pure-hardware mechanism that learns
+// frequently mispredicting conditional branches (Critical Table), learns
+// their reconvergence point with a generic three-type convergence detector
+// (Learning Table), builds application confidence proportional to body
+// size (ACB Table + Tracking Table), dual-fetches confident instances with
+// register-transparent predication in the OOO, and throttles itself with a
+// run-time performance monitor (Dynamo).
+//
+// The package plugs into the out-of-order model through ooo.Scheme.
+package core
+
+// CriticalTable is the direct-mapped filter that learns critical branch
+// PCs: 64 entries, each an 11-bit tag, a 2-bit utility counter for
+// conflict management and a 4-bit saturating critical counter
+// (Sec. III-A). A branch whose critical counter saturates within one
+// 200K-instruction window is a candidate for convergence learning.
+type CriticalTable struct {
+	entries []criticalEntry
+	mask    uint32
+}
+
+type criticalEntry struct {
+	valid    bool
+	tag      uint16 // 11 bits
+	utility  uint8  // 2 bits
+	critical uint8  // 4 bits
+	pc       int    // full PC kept beside the tag for simulation bookkeeping
+}
+
+// NewCriticalTable returns a table with the given number of entries
+// (power of two; the paper uses 64).
+func NewCriticalTable(entries int) *CriticalTable {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("core: critical table size must be a positive power of two")
+	}
+	return &CriticalTable{entries: make([]criticalEntry, entries), mask: uint32(entries - 1)}
+}
+
+func (t *CriticalTable) index(pc int) uint32 { return uint32(pc) & t.mask }
+
+func (t *CriticalTable) tag(pc int) uint16 {
+	return uint16((uint32(pc) >> uint(popcount32(t.mask))) & 0x7FF)
+}
+
+func popcount32(x uint32) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// RecordMispredict records one critical misprediction event for pc. It
+// returns true when the entry's critical counter just saturated, i.e. the
+// branch should move to convergence learning.
+func (t *CriticalTable) RecordMispredict(pc int) bool {
+	e := &t.entries[t.index(pc)]
+	tag := t.tag(pc)
+	if !e.valid {
+		*e = criticalEntry{valid: true, tag: tag, pc: pc, utility: 1, critical: 1}
+		return false
+	}
+	if e.tag != tag {
+		// Conflict: decay utility; replace only when it reaches zero.
+		if e.utility > 0 {
+			e.utility--
+			return false
+		}
+		*e = criticalEntry{valid: true, tag: tag, pc: pc, utility: 1, critical: 1}
+		return false
+	}
+	if e.utility < 3 {
+		e.utility++
+	}
+	if e.critical < 15 {
+		e.critical++
+		return e.critical == 15
+	}
+	return false
+}
+
+// Release removes pc from the table (after it has been promoted to the
+// ACB Table).
+func (t *CriticalTable) Release(pc int) {
+	e := &t.entries[t.index(pc)]
+	if e.valid && e.tag == t.tag(pc) {
+		e.valid = false
+	}
+}
+
+// ResetWindow clears all critical counters; called every 200K retired
+// instructions so the filter measures misprediction *frequency*.
+func (t *CriticalTable) ResetWindow() {
+	for i := range t.entries {
+		t.entries[i].critical = 0
+	}
+}
+
+// Critical returns the current critical count for pc (testing/diagnostics).
+func (t *CriticalTable) Critical(pc int) int {
+	e := &t.entries[t.index(pc)]
+	if !e.valid || e.tag != t.tag(pc) {
+		return -1
+	}
+	return int(e.critical)
+}
+
+// StorageBits returns the hardware cost of the table in bits
+// (tag + utility + critical per entry).
+func (t *CriticalTable) StorageBits() int {
+	return len(t.entries) * (11 + 2 + 4)
+}

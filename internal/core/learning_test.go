@@ -1,0 +1,212 @@
+package core
+
+import "testing"
+
+// stream is a scripted fetch stream for driving the Learning Table.
+type streamEvent struct {
+	pc       int
+	isBranch bool
+	isCtl    bool
+	taken    bool
+	target   int
+}
+
+func inst(pc int) streamEvent { return streamEvent{pc: pc} }
+func brEv(pc int, taken bool, target int) streamEvent {
+	return streamEvent{pc: pc, isBranch: true, isCtl: true, taken: taken, target: target}
+}
+func jmpEv(pc, target int) streamEvent {
+	return streamEvent{pc: pc, isCtl: true, taken: true, target: target}
+}
+
+func drive(t *testing.T, lt *LearningTable, evs []streamEvent) *Learned {
+	t.Helper()
+	for _, ev := range evs {
+		if l := lt.Observe(ev.pc, ev.isBranch, ev.isCtl, ev.taken, ev.target, false); l != nil {
+			return l
+		}
+	}
+	return nil
+}
+
+// TestLearnType1: a not-taken instance whose stream reaches the branch
+// target classifies Type-1 in one observation.
+func TestLearnType1(t *testing.T) {
+	lt := NewLearningTable(40)
+	if !lt.Arm(10, 14) {
+		t.Fatal("arm failed")
+	}
+	l := drive(t, lt, []streamEvent{
+		brEv(10, false, 14), // NT instance arms the watch
+		inst(11), inst(12), inst(13),
+		inst(14), // branch target reached by fall-through
+	})
+	if l == nil {
+		t.Fatal("no classification")
+	}
+	if l.Type != Type1 || l.ReconPC != 14 || l.FirstTaken || l.Backward {
+		t.Fatalf("learned %+v", l)
+	}
+	if l.BodySize != 3 {
+		t.Fatalf("body = %d, want 3", l.BodySize)
+	}
+	if lt.Occupied() {
+		t.Fatal("table still occupied after confirmation")
+	}
+}
+
+// TestLearnType2: a forward Jumper beyond the branch target on the NT
+// path, validated on the next taken instance.
+func TestLearnType2(t *testing.T) {
+	lt := NewLearningTable(40)
+	lt.Arm(10, 20) // IF-ELSE: else block at 20
+	l := drive(t, lt, []streamEvent{
+		brEv(10, false, 20), // NT instance
+		inst(11), inst(12),
+		jmpEv(13, 30), // Jumper: target 30 > 20 -> Type-2 candidate
+		inst(30), inst(31),
+		brEv(10, true, 20), // taken instance: validation watch
+		inst(20), inst(21), inst(22),
+		inst(30), // reconvergence confirmed on taken path
+	})
+	if l == nil {
+		t.Fatal("no classification")
+	}
+	if l.Type != Type2 || l.ReconPC != 30 || l.FirstTaken {
+		t.Fatalf("learned %+v", l)
+	}
+}
+
+// TestLearnType3: probes the taken path after the Type-1/2 windows
+// expire, finding a backward Jumper between branch and target.
+func TestLearnType3(t *testing.T) {
+	lt := NewLearningTable(8) // small window so the NT probe exhausts fast
+	lt.Arm(10, 40)
+	evs := []streamEvent{brEv(10, false, 40)} // NT probe instance
+	for pc := 11; pc < 25; pc++ {             // exhaust the window: no target, no forward jumper
+		evs = append(evs, inst(pc))
+	}
+	// Now in the Type-3 probe: wait for a taken instance.
+	evs = append(evs, brEv(10, true, 40))
+	evs = append(evs, inst(40), inst(41))
+	evs = append(evs, jmpEv(42, 20)) // Jumper back: 10 < 20 < 40
+	evs = append(evs, inst(20))
+	// Validation on a not-taken instance: NT path falls through to 20.
+	evs = append(evs, brEv(10, false, 40))
+	evs = append(evs, inst(11), inst(12), inst(20))
+	l := drive(t, lt, evs)
+	if l == nil {
+		t.Fatal("no classification")
+	}
+	if l.Type != Type3 || l.ReconPC != 20 || !l.FirstTaken {
+		t.Fatalf("learned %+v", l)
+	}
+}
+
+// TestLearnBackwardType1: the Fig. 4 transform — a backward branch whose
+// taken path (the loop body) falls through to pc+1.
+func TestLearnBackwardType1(t *testing.T) {
+	lt := NewLearningTable(40)
+	lt.Arm(10, 5) // backward: target 5 < pc 10
+	l := drive(t, lt, []streamEvent{
+		brEv(10, true, 5), // taken instance (NT role under the transform)
+		inst(5), inst(6), inst(7), inst(8), inst(9),
+		brEv(10, false, 5), // loop exits
+		inst(11),           // pc+1 = effective target -> Type-1
+	})
+	if l == nil {
+		t.Fatal("no classification")
+	}
+	if l.Type != Type1 || l.ReconPC != 11 || !l.FirstTaken || !l.Backward {
+		t.Fatalf("learned %+v", l)
+	}
+}
+
+// TestLearnNonConvergent: all probes exhaust -> the table resets.
+func TestLearnNonConvergent(t *testing.T) {
+	lt := NewLearningTable(4)
+	lt.Arm(10, 100)
+	evs := []streamEvent{brEv(10, false, 100)}
+	for pc := 11; pc < 20; pc++ {
+		evs = append(evs, inst(pc)) // NT probe exhausts
+	}
+	evs = append(evs, brEv(10, true, 100)) // Type-3 probe instance
+	for pc := 100; pc < 110; pc++ {
+		evs = append(evs, inst(pc)) // Type-3 probe exhausts
+	}
+	if l := drive(t, lt, evs); l != nil {
+		t.Fatalf("classified a non-convergent branch: %+v", l)
+	}
+	if lt.Occupied() {
+		t.Fatal("table not released after failed probes")
+	}
+}
+
+// TestLearnAbortObservation: a flush aborts the in-flight watch but keeps
+// the candidate; the next instance re-arms.
+func TestLearnAbortObservation(t *testing.T) {
+	lt := NewLearningTable(40)
+	lt.Arm(10, 14)
+	drive(t, nil2(t), nil) // no-op to keep helper usage consistent
+	if l := lt.Observe(10, true, true, false, 14, false); l != nil {
+		t.Fatal("premature classification")
+	}
+	lt.AbortObservation()
+	l := drive(t, lt, []streamEvent{
+		brEv(10, false, 14),
+		inst(11), inst(14),
+	})
+	if l == nil || l.Type != Type1 {
+		t.Fatalf("did not relearn after abort: %+v", l)
+	}
+}
+
+func nil2(t *testing.T) *LearningTable { return NewLearningTable(4) }
+
+// TestLearnIgnoresInContextInstances: predicated instances must not arm
+// the watch.
+func TestLearnIgnoresInContextInstances(t *testing.T) {
+	lt := NewLearningTable(40)
+	lt.Arm(10, 14)
+	if l := lt.Observe(10, true, true, false, 14, true); l != nil {
+		t.Fatal("classified from in-context instance")
+	}
+	if lt.watching {
+		t.Fatal("in-context instance armed the watch")
+	}
+}
+
+// TestLearnOneAtATime: the single-entry table rejects a second candidate.
+func TestLearnOneAtATime(t *testing.T) {
+	lt := NewLearningTable(40)
+	if !lt.Arm(10, 14) {
+		t.Fatal("first arm failed")
+	}
+	if lt.Arm(20, 24) {
+		t.Fatal("second arm succeeded on occupied table")
+	}
+	if lt.CandidatePC() != 10 {
+		t.Fatal("candidate clobbered")
+	}
+}
+
+// TestLearnAgeRelease: a candidate that stops recurring is eventually
+// released.
+func TestLearnAgeRelease(t *testing.T) {
+	lt := NewLearningTable(4)
+	lt.maxAge = 100
+	lt.Arm(10, 14)
+	for i := 0; i < 200; i++ {
+		lt.Observe(1000+i, false, false, false, 0, false)
+	}
+	if lt.Occupied() {
+		t.Fatal("stale candidate not released")
+	}
+}
+
+// TestLearnedStorageBudget: the learning table fits the paper's 20 bytes.
+func TestLearnedStorageBudget(t *testing.T) {
+	if NewLearningTable(40).StorageBits() != 160 {
+		t.Fatal("learning table storage must be 20 bytes (Table I)")
+	}
+}

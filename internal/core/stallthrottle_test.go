@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"acb/internal/ooo"
+)
+
+func TestStallThrottleBlocksHeavyStallers(t *testing.T) {
+	st := NewStallThrottle(10, 4)
+	for i := 0; i < 4; i++ {
+		st.Observe(100, 50) // avg 50 > limit 10
+	}
+	if st.Allows(100) {
+		t.Fatal("heavy staller not blocked")
+	}
+	if st.Blocked() != 1 {
+		t.Fatalf("blocked = %d", st.Blocked())
+	}
+	// A later window of light stalls unblocks (phase change).
+	for i := 0; i < 4; i++ {
+		st.Observe(100, 1)
+	}
+	if !st.Allows(100) {
+		t.Fatal("light window did not unblock")
+	}
+}
+
+func TestStallThrottleAllowsLightStallers(t *testing.T) {
+	st := NewStallThrottle(10, 4)
+	for i := 0; i < 16; i++ {
+		st.Observe(200, 2)
+	}
+	if !st.Allows(200) {
+		t.Fatal("light staller blocked")
+	}
+	if !st.Allows(999) {
+		t.Fatal("unknown pc blocked")
+	}
+}
+
+func TestACBWithStallThrottle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseDynamo = false
+	cfg.ThrottleStalls = true
+	cfg.StallLimit = 5
+	a := New(cfg)
+	if a.Name() != "acb-stallthrottle" {
+		t.Fatalf("name = %q", a.Name())
+	}
+	e := installConfident(a, 100, DynNeutral)
+	_ = e
+	if _, ok := a.ShouldPredicate(100, false, 0, 0); !ok {
+		t.Fatal("fresh entry blocked")
+	}
+	// Heavy-stall instances disable the entry through the throttle.
+	for i := 0; i < 64; i++ {
+		a.OnBranchResolve(ooo.ResolveEvent{PC: 100, Predicated: true, BodyStallCycles: 100})
+	}
+	if _, ok := a.ShouldPredicate(100, false, 0, 0); ok {
+		t.Fatal("stall throttle did not disable the entry")
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// ---- Critical Table ----------------------------------------------------
+
+func TestCriticalTableSaturation(t *testing.T) {
+	ct := NewCriticalTable(64)
+	pc := 0x123
+	for i := 0; i < 14; i++ {
+		if ct.RecordMispredict(pc) {
+			t.Fatalf("saturated after only %d events", i+1)
+		}
+	}
+	if !ct.RecordMispredict(pc) {
+		t.Fatal("did not saturate at the 15th event")
+	}
+	if ct.Critical(pc) != 15 {
+		t.Fatalf("critical = %d, want 15", ct.Critical(pc))
+	}
+	// Further events do not re-report saturation.
+	if ct.RecordMispredict(pc) {
+		t.Fatal("re-reported saturation")
+	}
+}
+
+func TestCriticalTableWindowReset(t *testing.T) {
+	ct := NewCriticalTable(64)
+	pc := 0x40
+	for i := 0; i < 10; i++ {
+		ct.RecordMispredict(pc)
+	}
+	ct.ResetWindow()
+	if ct.Critical(pc) != 0 {
+		t.Fatal("window reset did not clear the counter")
+	}
+	// The entry itself (tag) survives — frequency is measured per window.
+	for i := 0; i < 15; i++ {
+		if got := ct.RecordMispredict(pc); got != (i == 14) {
+			t.Fatalf("event %d: saturated=%v", i, got)
+		}
+	}
+}
+
+func TestCriticalTableUtilityConflicts(t *testing.T) {
+	ct := NewCriticalTable(64)
+	a := 0x10
+	b := a + 64*3 // same index (pc & 63), different 11-bit tag
+	if ct.index(a) != ct.index(b) || ct.tag(a) == ct.tag(b) {
+		t.Fatalf("test addresses do not conflict as intended (idx %d/%d tag %d/%d)",
+			ct.index(a), ct.index(b), ct.tag(a), ct.tag(b))
+	}
+	ct.RecordMispredict(a) // utility -> 1
+	// One conflicting event decays utility to 0 but does not replace.
+	ct.RecordMispredict(b)
+	if ct.Critical(a) != 1 {
+		t.Fatal("entry replaced while utility > 0")
+	}
+	// Next conflict replaces.
+	ct.RecordMispredict(b)
+	if ct.Critical(b) != 1 {
+		t.Fatal("entry not replaced at utility 0")
+	}
+	if ct.Critical(a) != -1 {
+		t.Fatal("old entry still present")
+	}
+}
+
+func TestCriticalTableRelease(t *testing.T) {
+	ct := NewCriticalTable(64)
+	ct.RecordMispredict(7)
+	ct.Release(7)
+	if ct.Critical(7) != -1 {
+		t.Fatal("release did not evict")
+	}
+}
+
+func TestCriticalTableSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two size")
+		}
+	}()
+	NewCriticalTable(63)
+}
+
+func TestCriticalTableStorage(t *testing.T) {
+	ct := NewCriticalTable(64)
+	if got := ct.StorageBits(); got != 64*17 {
+		t.Fatalf("storage = %d bits, want %d (paper: 11b tag + 2b utility + 4b counter)", got, 64*17)
+	}
+}
+
+// ---- ACB Table ----------------------------------------------------------
+
+func TestACBTableInstallLookup(t *testing.T) {
+	tab := NewACBTable(32)
+	l := &Learned{PC: 100, Type: Type2, ReconPC: 120, FirstTaken: false, BodySize: 10}
+	e := tab.Install(l)
+	if e.PC != 100 || e.Type != Type2 || e.ReconPC != 120 {
+		t.Fatalf("installed entry %+v", e)
+	}
+	if got := tab.Lookup(100); got != e {
+		t.Fatal("lookup returned different entry")
+	}
+	if tab.Lookup(101) != nil {
+		t.Fatal("lookup hit for missing pc")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+}
+
+func TestACBTableReinstallSamePC(t *testing.T) {
+	tab := NewACBTable(32)
+	tab.Install(&Learned{PC: 100, Type: Type1, ReconPC: 110})
+	tab.Install(&Learned{PC: 100, Type: Type3, ReconPC: 105})
+	if tab.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (reinstall must reuse the way)", tab.Len())
+	}
+	if e := tab.Lookup(100); e.Type != Type3 || e.ReconPC != 105 {
+		t.Fatalf("entry not updated: %+v", e)
+	}
+}
+
+func TestACBTableEvictsLowUtility(t *testing.T) {
+	tab := NewACBTable(2) // one set, two ways
+	a := tab.Install(&Learned{PC: 1})
+	a.Utility = 3
+	b := tab.Install(&Learned{PC: 2})
+	b.Utility = 0
+	tab.Install(&Learned{PC: 3}) // must evict b (lower utility)
+	if tab.Lookup(1) == nil {
+		t.Fatal("high-utility entry evicted")
+	}
+	if tab.Lookup(2) != nil {
+		t.Fatal("low-utility entry survived")
+	}
+	if tab.Lookup(3) == nil {
+		t.Fatal("new entry missing")
+	}
+}
+
+func TestDecProbM(t *testing.T) {
+	// Larger bodies must demand higher misprediction rates (lower M), per
+	// Equation 1's trade-off.
+	cases := []struct{ body, m int }{{4, 31}, {8, 15}, {12, 7}, {24, 3}}
+	for _, c := range cases {
+		if got := decProbM(c.body); got != c.m {
+			t.Errorf("decProbM(%d) = %d, want %d", c.body, got, c.m)
+		}
+	}
+	// Monotone non-increasing in body size.
+	if err := quick.Check(func(a, b uint8) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return decProbM(x) >= decProbM(y)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- Tracking Table ------------------------------------------------------
+
+func TestTrackingConvergenceSeen(t *testing.T) {
+	tr := NewTrackingTable(40)
+	tr.Arm(100, 120)
+	for pc := 101; pc < 120; pc++ {
+		if _, failed := tr.Observe(pc); failed {
+			t.Fatal("failed before window expired")
+		}
+	}
+	if _, failed := tr.Observe(120); failed {
+		t.Fatal("reconvergence observation reported failure")
+	}
+	if tr.Active() {
+		t.Fatal("tracker still active after reconvergence")
+	}
+}
+
+func TestTrackingConvergenceMissed(t *testing.T) {
+	tr := NewTrackingTable(10)
+	tr.Arm(100, 999)
+	var failed bool
+	var failPC int
+	for pc := 0; pc < 50 && !failed; pc++ {
+		failPC, failed = tr.Observe(200 + pc)
+	}
+	if !failed {
+		t.Fatal("tracker never reported failure")
+	}
+	if failPC != 100 {
+		t.Fatalf("failure pc = %d, want 100", failPC)
+	}
+}
+
+func TestTrackingAbort(t *testing.T) {
+	tr := NewTrackingTable(10)
+	tr.Arm(1, 2)
+	tr.Abort()
+	if tr.Active() {
+		t.Fatal("abort did not deactivate")
+	}
+	if _, failed := tr.Observe(77); failed {
+		t.Fatal("inactive tracker reported failure")
+	}
+}

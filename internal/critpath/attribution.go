@@ -1,0 +1,85 @@
+package critpath
+
+import "sort"
+
+// Attribution breaks the critical path down by cause, per static PC — the
+// analysis behind the paper's claim that a small set of branch PCs
+// accounts for the performance-relevant mispredictions (Sec. II), and the
+// validation tool for ACB's criticality filter.
+type Attribution struct {
+	// TotalCycles is the critical-path length.
+	TotalCycles int64
+	// MispredictCycles maps a branch PC to the misprediction-edge cycles
+	// it contributed to the critical path.
+	MispredictCycles map[int]int64
+	// ExecCycles maps a PC to the E-node latency cycles it contributed.
+	ExecCycles map[int]int64
+}
+
+// Attribute walks one critical path of the analyzed trace and attributes
+// its cycles to static PCs.
+func Attribute(trace []Event, m Model) Attribution {
+	res := Analyze(trace, m)
+	att := Attribution{
+		TotalCycles:      res.Length,
+		MispredictCycles: make(map[int]int64),
+		ExecCycles:       make(map[int]int64),
+	}
+	// Every on-path event contributes its E-node latency; a branch whose
+	// misprediction edge the chosen path traverses contributes its
+	// penalty (Analyze records both during its backward walk).
+	for i, ev := range trace {
+		if res.PenaltyOnPath[i] {
+			att.MispredictCycles[ev.PC] += int64(ev.MispredictPenalty)
+		}
+		if !res.OnPath[i] {
+			continue
+		}
+		lat := int64(ev.Latency)
+		if lat < 1 {
+			lat = 1
+		}
+		att.ExecCycles[ev.PC] += lat
+	}
+	return att
+}
+
+// PCShare is one PC's share of attributed cycles.
+type PCShare struct {
+	PC     int
+	Cycles int64
+	Share  float64
+}
+
+// TopMispredictors returns the branch PCs contributing the most
+// misprediction cycles to the critical path, descending.
+func (a *Attribution) TopMispredictors(n int) []PCShare {
+	return top(a.MispredictCycles, a.TotalCycles, n)
+}
+
+// TopExecutors returns the PCs contributing the most execution-latency
+// cycles to the critical path, descending.
+func (a *Attribution) TopExecutors(n int) []PCShare {
+	return top(a.ExecCycles, a.TotalCycles, n)
+}
+
+func top(m map[int]int64, total int64, n int) []PCShare {
+	out := make([]PCShare, 0, len(m))
+	for pc, cyc := range m {
+		s := PCShare{PC: pc, Cycles: cyc}
+		if total > 0 {
+			s.Share = float64(cyc) / float64(total)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package critpath_test
+
+import (
+	"testing"
+
+	"acb/internal/critpath"
+	"acb/internal/workload"
+)
+
+func TestAttributeMispredictPenalty(t *testing.T) {
+	trace := []critpath.Event{
+		{PC: 10, Latency: 1},
+		{PC: 20, Latency: 1, Mispredict: true, MispredictPenalty: 20},
+		{PC: 30, Latency: 1},
+		{PC: 40, Latency: 1},
+	}
+	att := critpath.Attribute(trace, critpath.DefaultModel())
+	if att.MispredictCycles[20] != 20 {
+		t.Fatalf("pc 20 penalty cycles = %d, want 20", att.MispredictCycles[20])
+	}
+	top := att.TopMispredictors(5)
+	if len(top) != 1 || top[0].PC != 20 {
+		t.Fatalf("top mispredictors = %+v", top)
+	}
+	if top[0].Share <= 0 {
+		t.Fatal("share not computed")
+	}
+}
+
+func TestAttributeShadowedBranchGetsNothing(t *testing.T) {
+	trace := []critpath.Event{
+		{PC: 1, Latency: 200},
+		{PC: 2, Latency: 200, Deps: []int{0}},
+		{PC: 3, Latency: 1, Mispredict: true, MispredictPenalty: 20},
+		{PC: 4, Latency: 200, Deps: []int{1}},
+		{PC: 5, Latency: 1, Deps: []int{3}},
+	}
+	att := critpath.Attribute(trace, critpath.DefaultModel())
+	if att.MispredictCycles[3] != 0 {
+		t.Fatalf("shadowed branch attributed %d penalty cycles", att.MispredictCycles[3])
+	}
+	top := att.TopExecutors(1)
+	if len(top) == 0 || (top[0].PC != 1 && top[0].PC != 2 && top[0].PC != 4) {
+		t.Fatalf("top executor = %+v, want a load PC", top)
+	}
+}
+
+func TestAttributeExecCyclesChain(t *testing.T) {
+	trace := []critpath.Event{
+		{PC: 7, Latency: 5},
+		{PC: 7, Latency: 5, Deps: []int{0}},
+		{PC: 9, Latency: 3, Deps: []int{1}},
+	}
+	att := critpath.Attribute(trace, critpath.DefaultModel())
+	if att.ExecCycles[7] != 10 {
+		t.Fatalf("pc 7 exec cycles = %d, want 10 (two dynamic instances)", att.ExecCycles[7])
+	}
+	if att.ExecCycles[9] != 3 {
+		t.Fatalf("pc 9 exec cycles = %d, want 3", att.ExecCycles[9])
+	}
+}
+
+// TestAttributionMatchesCriticalFilter: the ACB criticality intuition —
+// on a branch-dominated workload, the top misprediction-cycle contributor
+// is an H2P hammock branch, and its share is substantial.
+func TestAttributionMatchesCriticalFilter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace capture is slow")
+	}
+	w, err := workload.ByName("lammps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, m := w.Build()
+	opts := critpath.DefaultCaptureOptions()
+	opts.Steps = 80_000
+	trace := critpath.Capture(p, m, opts)
+	att := critpath.Attribute(trace, critpath.DefaultModel())
+	top := att.TopMispredictors(3)
+	if len(top) == 0 {
+		t.Fatal("no misprediction contributors found")
+	}
+	var total float64
+	for _, s := range top {
+		total += s.Share
+	}
+	if total < 0.15 {
+		t.Errorf("top-3 misprediction share %.2f, want a substantial fraction on lammps", total)
+	}
+	for _, s := range top {
+		if p[s.PC].Op.String() != "br" {
+			t.Errorf("top contributor pc=%d is not a branch", s.PC)
+		}
+	}
+}

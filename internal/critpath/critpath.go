@@ -1,0 +1,227 @@
+// Package critpath implements the Fields et al. graph-based critical-path
+// model the paper's Sec. II-A analysis builds on: program execution is a
+// data-dependency graph with three nodes per dynamic instruction —
+// dispatch (D), execute (E) and commit (C) — connected by intra-
+// instruction edges, machine-width and ROB-capacity edges, data
+// dependencies, and branch-misprediction edges from the mispredicting
+// branch's execution to the next instruction's dispatch. The critical path
+// is the longest path through this graph; an event (e.g. one branch's
+// misprediction) matters for performance only in proportion to its
+// presence on that path.
+//
+// The package is used offline, over retired-instruction traces captured
+// from the functional emulator, to validate the paper's criticality claims
+// (e.g. the soplex effect: mispredictions shadowed by long-latency loads
+// contribute nothing to the critical path).
+package critpath
+
+import "fmt"
+
+// Event is one retired dynamic instruction of a trace.
+type Event struct {
+	PC int
+	// Latency is the execution latency in cycles (e.g. cache hit/miss
+	// latency for loads, ALU latency otherwise).
+	Latency int
+	// Deps are indices of earlier events this one's execution
+	// data-depends on (register or memory).
+	Deps []int
+	// Mispredict marks a conditional branch that was mispredicted.
+	Mispredict bool
+	// MispredictPenalty is the refetch penalty charged on the E→D edge to
+	// the next instruction.
+	MispredictPenalty int
+}
+
+// Model holds the machine parameters of the DDG.
+type Model struct {
+	DispatchWidth int // instructions dispatched per cycle
+	CommitWidth   int
+	ROBSize       int
+}
+
+// DefaultModel mirrors the Skylake-like baseline.
+func DefaultModel() Model {
+	return Model{DispatchWidth: 4, CommitWidth: 4, ROBSize: 224}
+}
+
+// nodeKind indexes the three DDG node types of one instruction.
+type nodeKind int
+
+const (
+	nodeD nodeKind = iota
+	nodeE
+	nodeC
+)
+
+// Result reports the critical-path analysis.
+type Result struct {
+	// Length is the critical-path length in cycles.
+	Length int64
+	// OnPath flags, per event, whether its E node lies on a critical path.
+	OnPath []bool
+	// PenaltyOnPath flags, per event, a mispredicting branch whose
+	// misprediction edge (E -> next D) lies on the chosen critical path.
+	PenaltyOnPath []bool
+	// MispredictShare is the fraction of critical-path length contributed
+	// by branch-misprediction edges.
+	MispredictShare float64
+	// MemShare is the fraction contributed by E-node latencies of events
+	// with Latency >= 30 (long-latency loads).
+	MemShare float64
+}
+
+// Analyze computes the longest path through the dependency graph of the
+// trace. It runs in O(n · deps) time via topological order (events are
+// already topologically sorted by retirement).
+func Analyze(trace []Event, m Model) Result {
+	n := len(trace)
+	if n == 0 {
+		return Result{}
+	}
+	if m.DispatchWidth <= 0 || m.CommitWidth <= 0 || m.ROBSize <= 0 {
+		panic(fmt.Sprintf("critpath: invalid model %+v", m))
+	}
+
+	// dist[k][i]: longest-path distance to node k of event i.
+	distD := make([]int64, n)
+	distE := make([]int64, n)
+	distC := make([]int64, n)
+	// Edge provenance for share accounting on the backward walk.
+	const (
+		fromNone          = iota
+		fromDispatchOrder // D(i-1) -> D(i), in-order edge (weight 0)
+		fromDispatchPrev  // D(i-w) -> D(i), width edge
+		fromROB           // C(i-ROB) -> D(i)
+		fromMispredict    // E(i-1 branch) -> D(i)
+		fromE             // E(i) -> C(i)
+		fromCommitOrder   // C(i-1) -> C(i), in-order edge (weight 0)
+		fromCommitPrev    // C(i-w) -> C(i)
+	)
+	provD := make([]int8, n)
+	provE := make([]int64, n) // dep index, or -1 for D->E
+	provC := make([]int8, n)
+
+	for i := 0; i < n; i++ {
+		ev := &trace[i]
+
+		// D node: in-order dispatch, width-limited; ROB capacity; branch
+		// misprediction serialization from the previous branch's E node.
+		var d int64
+		provD[i] = fromNone
+		if i > 0 {
+			if v := distD[i-1]; v > d {
+				d = v
+				provD[i] = fromDispatchOrder
+			}
+		}
+		if j := i - m.DispatchWidth; j >= 0 {
+			if v := distD[j] + 1; v > d {
+				d = v
+				provD[i] = fromDispatchPrev
+			}
+		}
+		if j := i - m.ROBSize; j >= 0 {
+			if v := distC[j] + 1; v > d {
+				d = v
+				provD[i] = fromROB
+			}
+		}
+		if i > 0 && trace[i-1].Mispredict {
+			if v := distE[i-1] + int64(trace[i-1].MispredictPenalty); v > d {
+				d = v
+				provD[i] = fromMispredict
+			}
+		}
+		distD[i] = d
+
+		// E node: after dispatch and after all data dependencies.
+		e := distD[i]
+		provE[i] = -1
+		for _, dep := range ev.Deps {
+			if dep < 0 || dep >= i {
+				panic(fmt.Sprintf("critpath: event %d has invalid dep %d", i, dep))
+			}
+			if v := distE[dep]; v > e {
+				e = v
+				provE[i] = int64(dep)
+			}
+		}
+		lat := int64(ev.Latency)
+		if lat < 1 {
+			lat = 1
+		}
+		distE[i] = e + lat
+
+		// C node: in-order commit, width-limited.
+		c := distE[i]
+		provC[i] = fromE
+		if i > 0 {
+			if v := distC[i-1]; v > c {
+				c = v
+				provC[i] = fromCommitOrder
+			}
+		}
+		if j := i - m.CommitWidth; j >= 0 {
+			if v := distC[j] + 1; v > c {
+				c = v
+				provC[i] = fromCommitPrev
+			}
+		}
+		distC[i] = c
+	}
+
+	res := Result{Length: distC[n-1], OnPath: make([]bool, n), PenaltyOnPath: make([]bool, n)}
+
+	// Walk one critical path backwards from the last commit, accounting
+	// for edge contributions.
+	var mispredCycles, memCycles int64
+	i := n - 1
+	kind := nodeC
+	for i >= 0 {
+		switch kind {
+		case nodeC:
+			switch {
+			case provC[i] == fromCommitPrev && i-m.CommitWidth >= 0:
+				i -= m.CommitWidth
+			case provC[i] == fromCommitOrder && i > 0:
+				i--
+			default:
+				kind = nodeE
+			}
+		case nodeE:
+			res.OnPath[i] = true
+			lat := int64(trace[i].Latency)
+			if lat >= 30 {
+				memCycles += lat
+			}
+			if provE[i] >= 0 {
+				i = int(provE[i])
+			} else {
+				kind = nodeD
+			}
+		case nodeD:
+			switch provD[i] {
+			case fromDispatchOrder:
+				i--
+			case fromDispatchPrev:
+				i -= m.DispatchWidth
+			case fromROB:
+				i -= m.ROBSize
+				kind = nodeC
+			case fromMispredict:
+				mispredCycles += int64(trace[i-1].MispredictPenalty)
+				res.PenaltyOnPath[i-1] = true
+				i--
+				kind = nodeE
+			default:
+				i = -1 // reached the first instruction
+			}
+		}
+	}
+	if res.Length > 0 {
+		res.MispredictShare = float64(mispredCycles) / float64(res.Length)
+		res.MemShare = float64(memCycles) / float64(res.Length)
+	}
+	return res
+}

@@ -1,0 +1,119 @@
+package critpath_test
+
+import (
+	"testing"
+
+	"acb/internal/critpath"
+	"acb/internal/workload"
+)
+
+// TestAnalyzeChain: a pure dependency chain's critical path is the sum of
+// its latencies.
+func TestAnalyzeChain(t *testing.T) {
+	trace := []critpath.Event{
+		{Latency: 1},
+		{Latency: 5, Deps: []int{0}},
+		{Latency: 3, Deps: []int{1}},
+	}
+	res := critpath.Analyze(trace, critpath.DefaultModel())
+	if res.Length != 9 {
+		t.Fatalf("length = %d, want 9", res.Length)
+	}
+	for i, on := range res.OnPath {
+		if !on {
+			t.Errorf("event %d not on path", i)
+		}
+	}
+}
+
+// TestAnalyzeIndependent: independent instructions are bounded by
+// dispatch width, not by latency sums.
+func TestAnalyzeIndependent(t *testing.T) {
+	var trace []critpath.Event
+	for i := 0; i < 64; i++ {
+		trace = append(trace, critpath.Event{Latency: 1})
+	}
+	res := critpath.Analyze(trace, critpath.Model{DispatchWidth: 4, CommitWidth: 4, ROBSize: 224})
+	// 64 instructions at width 4 -> ~16 cycles of dispatch + pipe.
+	if res.Length > 24 {
+		t.Fatalf("length = %d, want near 16", res.Length)
+	}
+}
+
+// TestMispredictEdgeDominates: a mispredicted branch inserts its penalty
+// on the path.
+func TestMispredictEdgeDominates(t *testing.T) {
+	trace := []critpath.Event{
+		{Latency: 1},
+		{Latency: 1, Mispredict: true, MispredictPenalty: 20},
+		{Latency: 1},
+		{Latency: 1},
+	}
+	res := critpath.Analyze(trace, critpath.DefaultModel())
+	if res.Length < 22 {
+		t.Fatalf("length = %d, want >= 22 (penalty on path)", res.Length)
+	}
+	if res.MispredictShare < 0.5 {
+		t.Fatalf("mispredict share = %.2f, want >= 0.5", res.MispredictShare)
+	}
+}
+
+// TestShadowedMispredict: a misprediction running in the shadow of a
+// long-latency load chain contributes nothing to the critical path — the
+// paper's soplex effect.
+func TestShadowedMispredict(t *testing.T) {
+	// A 3-load dependent chain (200 cycles each) alongside a mispredicted
+	// branch with a 20-cycle penalty: the loads dominate.
+	trace := []critpath.Event{
+		{Latency: 200},
+		{Latency: 200, Deps: []int{0}},
+		{Latency: 1, Mispredict: true, MispredictPenalty: 20},
+		{Latency: 200, Deps: []int{1}},
+		{Latency: 1, Deps: []int{3}},
+	}
+	res := critpath.Analyze(trace, critpath.DefaultModel())
+	if res.MispredictShare != 0 {
+		t.Fatalf("mispredict share = %.3f, want 0 (shadowed)", res.MispredictShare)
+	}
+	if res.MemShare < 0.9 {
+		t.Fatalf("mem share = %.3f, want >= 0.9", res.MemShare)
+	}
+	on, total := critpath.MispredictsOnPath(trace, res)
+	if total != 1 || on != 0 {
+		t.Fatalf("mispredicts on path = %d/%d, want 0/1", on, total)
+	}
+}
+
+// TestSoplexVsLammpsCriticality validates the Sec. II-A claim end-to-end
+// on the workload suite: the memory-shadowed workload's mispredictions
+// are mostly off the critical path, the branch-dominated workload's are
+// mostly on it.
+func TestSoplexVsLammpsCriticality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace capture is slow")
+	}
+	frac := func(name string) float64 {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, m := w.Build()
+		opts := critpath.DefaultCaptureOptions()
+		opts.Steps = 100_000
+		trace := critpath.Capture(p, m, opts)
+		res := critpath.Analyze(trace, critpath.DefaultModel())
+		on, total := critpath.MispredictsOnPath(trace, res)
+		if total == 0 {
+			t.Fatalf("%s: no mispredictions captured", name)
+		}
+		f := float64(on) / float64(total)
+		t.Logf("%s: %d/%d mispredicts on critical path (%.1f%%), mispredict share %.2f, mem share %.2f",
+			name, on, total, f*100, res.MispredictShare, res.MemShare)
+		return f
+	}
+	soplex := frac("soplex")
+	lammps := frac("lammps")
+	if soplex >= lammps {
+		t.Errorf("soplex on-path fraction %.2f should be below lammps %.2f", soplex, lammps)
+	}
+}

@@ -1,0 +1,76 @@
+package critpath
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonlEvent is the serialized form of one trace event. Field names are
+// kept short: traces run to millions of lines.
+type jsonlEvent struct {
+	PC      int   `json:"pc"`
+	Lat     int   `json:"lat"`
+	Deps    []int `json:"deps,omitempty"`
+	Mis     bool  `json:"mis,omitempty"`
+	Penalty int   `json:"pen,omitempty"`
+}
+
+// WriteJSONL serializes a trace as one JSON object per line, suitable for
+// archiving a captured run and re-analyzing it offline (or with external
+// tooling).
+func WriteJSONL(w io.Writer, trace []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range trace {
+		ev := &trace[i]
+		je := jsonlEvent{
+			PC:      ev.PC,
+			Lat:     ev.Latency,
+			Deps:    ev.Deps,
+			Mis:     ev.Mispredict,
+			Penalty: ev.MispredictPenalty,
+		}
+		if err := enc.Encode(&je); err != nil {
+			return fmt.Errorf("critpath: encode event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a trace previously written by WriteJSONL. It validates
+// the dependency structure (topological: deps reference earlier events
+// only) so Analyze cannot panic on corrupt input.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var trace []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal(sc.Bytes(), &je); err != nil {
+			return nil, fmt.Errorf("critpath: line %d: %w", line, err)
+		}
+		for _, d := range je.Deps {
+			if d < 0 || d >= len(trace) {
+				return nil, fmt.Errorf("critpath: line %d: dep %d out of range", line, d)
+			}
+		}
+		trace = append(trace, Event{
+			PC:                je.PC,
+			Latency:           je.Lat,
+			Deps:              je.Deps,
+			Mispredict:        je.Mis,
+			MispredictPenalty: je.Penalty,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("critpath: scan: %w", err)
+	}
+	return trace, nil
+}

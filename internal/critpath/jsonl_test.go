@@ -1,0 +1,86 @@
+package critpath_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"acb/internal/critpath"
+	"acb/internal/workload"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	trace := []critpath.Event{
+		{PC: 1, Latency: 1},
+		{PC: 2, Latency: 5, Deps: []int{0}},
+		{PC: 3, Latency: 1, Mispredict: true, MispredictPenalty: 20},
+		{PC: 4, Latency: 200, Deps: []int{1, 2}},
+	}
+	var buf bytes.Buffer
+	if err := critpath.WriteJSONL(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := critpath.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, trace) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, trace)
+	}
+}
+
+func TestJSONLRejectsForwardDeps(t *testing.T) {
+	in := `{"pc":1,"lat":1,"deps":[5]}`
+	if _, err := critpath.ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("forward dependency accepted")
+	}
+}
+
+func TestJSONLRejectsGarbage(t *testing.T) {
+	if _, err := critpath.ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestJSONLSkipsBlankLines(t *testing.T) {
+	in := "{\"pc\":1,\"lat\":1}\n\n{\"pc\":2,\"lat\":2}\n"
+	got, err := critpath.ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("events = %d, want 2", len(got))
+	}
+}
+
+// TestJSONLAnalysisStable: a captured workload trace survives
+// serialization with identical critical-path results.
+func TestJSONLAnalysisStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace capture is slow")
+	}
+	w, err := workload.ByName("gobmk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, m := w.Build()
+	opts := critpath.DefaultCaptureOptions()
+	opts.Steps = 20_000
+	trace := critpath.Capture(p, m, opts)
+
+	var buf bytes.Buffer
+	if err := critpath.WriteJSONL(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := critpath.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := critpath.Analyze(trace, critpath.DefaultModel())
+	b := critpath.Analyze(restored, critpath.DefaultModel())
+	if a.Length != b.Length || a.MispredictShare != b.MispredictShare {
+		t.Fatalf("analysis differs after round trip: %d/%f vs %d/%f",
+			a.Length, a.MispredictShare, b.Length, b.MispredictShare)
+	}
+}

@@ -1,0 +1,104 @@
+package critpath
+
+import (
+	"acb/internal/bpu"
+	"acb/internal/isa"
+	"acb/internal/mem"
+)
+
+// CaptureOptions controls trace capture.
+type CaptureOptions struct {
+	Steps             int64
+	MispredictPenalty int
+	Mem               mem.HierarchyConfig
+}
+
+// DefaultCaptureOptions mirrors the Skylake-like baseline.
+func DefaultCaptureOptions() CaptureOptions {
+	return CaptureOptions{
+		Steps:             200_000,
+		MispredictPenalty: 20,
+		Mem:               mem.SkylakeHierarchy(),
+	}
+}
+
+// Capture functionally executes the program, recording a retired
+// dependency trace: register and memory data dependencies, per-load cache
+// latencies from a hierarchy model, and TAGE misprediction flags — the
+// input to Analyze.
+func Capture(p []isa.Instruction, image *isa.Memory, opts CaptureOptions) []Event {
+	st := isa.NewArchState(image.Clone())
+	hier := mem.NewHierarchy(opts.Mem)
+	pred := bpu.NewTAGE(bpu.DefaultTAGEConfig())
+
+	lastRegWriter := make([]int, isa.NumRegs)
+	for i := range lastRegWriter {
+		lastRegWriter[i] = -1
+	}
+	lastMemWriter := make(map[int64]int)
+
+	var trace []Event
+	for step := int64(0); step < opts.Steps; step++ {
+		pc := st.PC
+		in := &p[pc]
+		ev := Event{PC: pc, Latency: in.ExecLatency()}
+
+		srcs, n := in.Sources()
+		for i := 0; i < n; i++ {
+			if w := lastRegWriter[srcs[i]]; w >= 0 {
+				ev.Deps = append(ev.Deps, w)
+			}
+		}
+
+		var pr bpu.Prediction
+		if in.Op == isa.Br {
+			pr = pred.Predict(uint64(pc), false)
+		}
+
+		res := st.Step(p)
+
+		switch in.Op {
+		case isa.Load:
+			ev.Latency = hier.LoadLatency(res.EffAddr)
+			if w, ok := lastMemWriter[res.EffAddr&^7]; ok {
+				ev.Deps = append(ev.Deps, w)
+			}
+		case isa.Store:
+			hier.StoreCommit(res.EffAddr)
+			lastMemWriter[res.EffAddr&^7] = len(trace)
+		case isa.Br:
+			ev.Mispredict = pr.Taken != res.Taken
+			ev.MispredictPenalty = opts.MispredictPenalty
+			pred.Update(uint64(pc), pr, res.Taken)
+			pred.PushHistory(uint64(pc), res.Taken)
+		}
+		if in.HasDest() {
+			lastRegWriter[in.Rd] = len(trace)
+		}
+
+		trace = append(trace, ev)
+		if res.Halted {
+			break
+		}
+	}
+	return trace
+}
+
+// MispredictsOnPath summarizes, for a trace and its analysis, how many
+// retired mispredictions fell on the critical path — the measure behind
+// the paper's observation that shadowed mispredictions (soplex) do not pay
+// off when removed.
+func MispredictsOnPath(trace []Event, res Result) (onPath, total int) {
+	for i, ev := range trace {
+		if !ev.Mispredict {
+			continue
+		}
+		total++
+		// The misprediction edge leaves the branch's E node; the branch
+		// mattered if its E node is on the path.
+		if res.OnPath[i] {
+			onPath++
+		}
+	}
+	return onPath, total
+}

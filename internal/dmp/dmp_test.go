@@ -1,0 +1,118 @@
+package dmp_test
+
+import (
+	"testing"
+
+	"acb/internal/bpu"
+	"acb/internal/config"
+	"acb/internal/dmp"
+	"acb/internal/isa"
+	"acb/internal/ooo"
+	"acb/internal/prog"
+)
+
+// buildH2P builds a loop with a data-dependent IF-ELSE hammock whose
+// condition TAGE cannot learn, plus a store in the taken path so the
+// eager/select machinery's memory invalidation is exercised.
+func buildH2P(iters, period int64) ([]isa.Instruction, *isa.Memory) {
+	b := prog.NewBuilder()
+	b.MovI(isa.R1, iters)
+	b.MovI(isa.R2, 0x1000)
+	b.MovI(isa.R3, 0)
+	b.MovI(isa.R7, 0)
+	b.MovI(isa.R10, 0x40000) // scratch output area
+	b.Label("loop")
+	b.AndI(isa.R4, isa.R3, period-1)
+	b.MulI(isa.R4, isa.R4, 8)
+	b.Add(isa.R5, isa.R2, isa.R4)
+	b.Load(isa.R6, isa.R5, 0)
+	b.AndI(isa.R6, isa.R6, 1)
+	b.Brz(isa.R6, "else")
+	b.AddI(isa.R7, isa.R7, 3)
+	b.Store(isa.R10, 0, isa.R7)
+	b.Jmp("end")
+	b.Label("else")
+	b.AddI(isa.R7, isa.R7, 7)
+	b.Label("end")
+	b.Load(isa.R9, isa.R10, 0) // reads last taken-path store
+	b.Add(isa.R11, isa.R11, isa.R9)
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Sub(isa.R8, isa.R3, isa.R1)
+	b.Brnz(isa.R8, "loop")
+	b.Halt()
+	p := b.MustBuild()
+
+	m := isa.NewMemory()
+	x := uint64(0xDEADBEEF)
+	for i := int64(0); i < period; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		m.Store(0x1000+i*8, int64(x&0xFFFF))
+	}
+	return p, m
+}
+
+func TestProfileFindsH2PHammock(t *testing.T) {
+	p, m := buildH2P(20_000, 4096)
+	cands := dmp.Profile(p, m, dmp.DefaultProfileConfig())
+	if len(cands) == 0 {
+		t.Fatal("profiling found no candidates")
+	}
+	c := cands[0]
+	if c.MispredictRate < 0.1 {
+		t.Errorf("top candidate mispredict rate %.3f, want >= 0.1", c.MispredictRate)
+	}
+	if c.ReconPC <= c.PC {
+		t.Errorf("reconvergence %d not after branch %d", c.ReconPC, c.PC)
+	}
+	t.Logf("top candidate: pc=%d recon=%d T=%d NT=%d rate=%.3f simple=%v",
+		c.PC, c.ReconPC, c.TakenLen, c.NotTakenLen, c.MispredictRate, c.Simple)
+}
+
+// TestDMPEndToEnd: DMP with eager select-µops must stay value-correct
+// (including predicated-false stores) and cut flushes on the H2P hammock.
+func TestDMPEndToEnd(t *testing.T) {
+	p, m := buildH2P(20_000, 4096)
+
+	want := isa.NewArchState(m.Clone())
+	if _, halted := want.Run(p, 3_000_000); !halted {
+		t.Fatal("functional run did not halt")
+	}
+
+	runWith := func(scheme ooo.Scheme) ooo.Result {
+		c := ooo.NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), scheme, m.Clone())
+		res, err := c.Run(3_000_000)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if !res.Halted {
+			t.Fatalf("did not halt: retired=%d", res.Retired)
+		}
+		return res
+	}
+
+	base := runWith(nil)
+
+	cands := dmp.Profile(p, m, dmp.DefaultProfileConfig())
+	sch := dmp.New(dmp.DefaultConfig(dmp.ModeDMP), cands)
+	res := runWith(sch)
+
+	for r := 0; r < isa.NumRegs; r++ {
+		if res.FinalRegs[r] != want.Regs[r] {
+			t.Errorf("DMP run r%d = %d, want %d", r, res.FinalRegs[r], want.Regs[r])
+		}
+	}
+	if res.Predications == 0 {
+		t.Fatal("DMP never predicated")
+	}
+	if res.SelectUops == 0 {
+		t.Fatal("DMP injected no select micro-ops")
+	}
+	if res.Flushes >= base.Flushes {
+		t.Errorf("DMP flushes %d not below baseline %d", res.Flushes, base.Flushes)
+	}
+	t.Logf("baseline: IPC=%.3f flushes=%d", base.IPC, base.Flushes)
+	t.Logf("dmp:      IPC=%.3f flushes=%d predications=%d selects=%d invalidatedMem=%d",
+		res.IPC, res.Flushes, res.Predications, res.SelectUops, res.InvalidatedMem)
+}

@@ -1,0 +1,153 @@
+package dmp_test
+
+import (
+	"testing"
+
+	"acb/internal/dmp"
+	"acb/internal/isa"
+	"acb/internal/prog"
+	"acb/internal/workload"
+)
+
+// TestProfileCostModel: the enhanced-DMP fetch-cost model must reject a
+// big-body hammock whose misprediction rate cannot repay the extra
+// allocations (Equation 1, fetch side only).
+func TestProfileCostModel(t *testing.T) {
+	build := func(body int, mask int64) ([]isa.Instruction, *isa.Memory) {
+		b := prog.NewBuilder()
+		b.MovI(isa.R1, 1_000_000)
+		b.MovI(isa.R2, 0x1000)
+		b.MovI(isa.R3, 0)
+		b.Label("loop")
+		b.AndI(isa.R4, isa.R3, 1023)
+		b.MulI(isa.R4, isa.R4, 8)
+		b.Add(isa.R5, isa.R2, isa.R4)
+		b.Load(isa.R6, isa.R5, 0)
+		b.AndI(isa.R6, isa.R6, mask) // mask 0 -> never taken -> ~0% mispredict
+		b.Brz(isa.R6, "else")
+		for i := 0; i < body; i++ {
+			b.AddI(isa.R7, isa.R7, 1)
+		}
+		b.Jmp("end")
+		b.Label("else")
+		for i := 0; i < body; i++ {
+			b.AddI(isa.R7, isa.R7, 2)
+		}
+		b.Label("end")
+		b.AddI(isa.R3, isa.R3, 1)
+		b.Sub(isa.R8, isa.R3, isa.R1)
+		b.Brnz(isa.R8, "loop")
+		b.Halt()
+		p := b.MustBuild()
+		m := isa.NewMemory()
+		x := uint64(0xBEEF)
+		for i := int64(0); i < 1024; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			m.Store(0x1000+i*8, int64(x&0xFF))
+		}
+		return p, m
+	}
+
+	cfg := dmp.DefaultProfileConfig()
+	cfg.Steps = 300_000
+
+	// Small body, random condition: selected.
+	p, m := build(3, 1)
+	if cands := dmp.Profile(p, m, cfg); len(cands) == 0 {
+		t.Error("small H2P hammock not selected")
+	}
+
+	// Same condition but a body too large for its rate: rejected by the
+	// fetch-cost model (extra allocs > rate * penalty).
+	// rate ~0.5 here repays a lot; use a mildly-mispredicting mask with a
+	// huge body instead.
+	p, m = build(50, 1)
+	cfgTight := cfg
+	cfgTight.MispredictPenalty = 10
+	for _, c := range dmp.Profile(p, m, cfgTight) {
+		if c.TakenLen+c.NotTakenLen > 90 {
+			t.Errorf("oversized hammock selected: %+v", c)
+		}
+	}
+
+	// Predictable branch: rejected by the H2P threshold.
+	p, m = build(3, 0)
+	for _, c := range dmp.Profile(p, m, cfg) {
+		if c.MispredictRate < cfg.MinMispredictRate {
+			t.Errorf("cold branch selected: %+v", c)
+		}
+	}
+}
+
+// TestDHPFiltersComplexAndLong: DHP keeps only short simple hammocks.
+func TestDHPFiltersComplexAndLong(t *testing.T) {
+	cands := []dmp.Candidate{
+		{PC: 1, Simple: true, TakenLen: 2, NotTakenLen: 3},  // kept
+		{PC: 2, Simple: false, TakenLen: 2, NotTakenLen: 2}, // complex
+		{PC: 3, Simple: true, TakenLen: 9, NotTakenLen: 2},  // too long
+		{PC: 4, Simple: true, TakenLen: 4, NotTakenLen: 4},  // kept
+	}
+	s := dmp.New(dmp.DefaultConfig(dmp.ModeDHP), cands)
+	if s.Candidates() != 2 {
+		t.Fatalf("DHP kept %d candidates, want 2", s.Candidates())
+	}
+	d := dmp.New(dmp.DefaultConfig(dmp.ModeDMP), cands)
+	if d.Candidates() != 4 {
+		t.Fatalf("DMP kept %d candidates, want all 4", d.Candidates())
+	}
+}
+
+// TestSchemeNames: report labels.
+func TestSchemeNames(t *testing.T) {
+	if dmp.New(dmp.DefaultConfig(dmp.ModeDMP), nil).Name() != "dmp" {
+		t.Error("dmp name")
+	}
+	if dmp.New(dmp.DefaultConfig(dmp.ModeDHP), nil).Name() != "dhp" {
+		t.Error("dhp name")
+	}
+	cfg := dmp.DefaultConfig(dmp.ModeDMP)
+	cfg.PerfectBranchHistory = true
+	if dmp.New(cfg, nil).Name() != "dmp-pbh" {
+		t.Error("pbh name")
+	}
+}
+
+// TestTrainingInputMismatch: a TrainDiffers hammock looks predictable to
+// the profiler (training input) but is H2P at run time — so DMP's
+// compiler pass must miss it (the paper's input-mismatch argument).
+func TestTrainingInputMismatch(t *testing.T) {
+	spec := workload.Spec{
+		Seed: 4242, Iters: 1 << 40, Period: 8192,
+		Hammocks: []workload.Hammock{
+			{Shape: workload.ShapeIfElse, TLen: 3, NTLen: 3, TakenBias: 0.5,
+				Noise: 0.9, TrainDiffers: true, TrainNoise: 0.02},
+		},
+	}
+	cfg := dmp.DefaultProfileConfig()
+	cfg.Steps = 400_000
+
+	tp, tm := spec.BuildTrain()
+	trainCands := dmp.Profile(tp, tm, cfg)
+
+	rp, rm := spec.Build()
+	runCands := dmp.Profile(rp, rm, cfg)
+
+	// The actual input exposes the hammock as H2P...
+	found := false
+	for _, c := range runCands {
+		if c.MispredictRate > 0.2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("run input did not expose an H2P hammock")
+	}
+	// ...but the training input hides it from the compiler.
+	for _, c := range trainCands {
+		if c.MispredictRate > 0.2 {
+			t.Fatalf("training input exposed the hammock: %+v", c)
+		}
+	}
+}

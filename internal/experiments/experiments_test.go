@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"acb/internal/workload"
+)
+
+// smallOpts keeps experiment smoke tests fast: a representative workload
+// subset and a small budget.
+func smallOpts(t *testing.T, names ...string) Options {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Budget = 120_000
+	for _, n := range names {
+		w, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Workloads = append(opts.Workloads, w)
+	}
+	return opts
+}
+
+func TestTableIReports386Bytes(t *testing.T) {
+	tab := TableI()
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "Total" || last[1] != "386" {
+		t.Fatalf("Table I total = %v, want 386 bytes", last)
+	}
+}
+
+func TestTableIIIListsFullSuite(t *testing.T) {
+	tab := TableIII()
+	if len(tab.Rows) != len(workload.All()) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(workload.All()))
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	opts := smallOpts(t, "lammps", "compression", "hmmer")
+	tab := Figure6(opts)
+	var all []string
+	for _, row := range tab.Rows {
+		if row[0] == "ALL" {
+			all = row
+		}
+	}
+	if all == nil {
+		t.Fatal("no ALL row")
+	}
+	var speedup float64
+	if _, err := sscan(all[1], &speedup); err != nil {
+		t.Fatal(err)
+	}
+	if speedup <= 1.0 {
+		t.Errorf("overall ACB speedup %.3f, want > 1 on H2P-dominated subset", speedup)
+	}
+}
+
+func TestFigure9RunsOnOutlierClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	opts := DefaultOptions()
+	opts.Budget = 120_000
+	tab := Figure9(opts)
+	if len(tab.Rows) != len(OutlierD)+len(OutlierE) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[1] != "D" && row[1] != "E" {
+			t.Errorf("row class = %q", row[1])
+		}
+	}
+}
+
+func TestMispredictCensusCoversPCs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	opts := smallOpts(t, "gobmk")
+	tab := MispredictCensus(opts)
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	row := tab.Rows[0]
+	var pcs int
+	if _, err := sscan(row[1], &pcs); err != nil {
+		t.Fatal(err)
+	}
+	if pcs < 1 || pcs > 64 {
+		t.Errorf("pcs for 95%% = %d, want within the 64-entry critical-table reach", pcs)
+	}
+}
+
+func TestCoreScalingGrowsHeadroom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	opts := smallOpts(t, "gobmk", "leela")
+	tab := Figure1(opts)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	var first, last float64
+	if _, err := sscan(tab.Rows[0][1], &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(tab.Rows[2][1], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last <= first {
+		t.Errorf("perfect-BP headroom must grow with scaling: 1x=%.3f 3x=%.3f", first, last)
+	}
+}
+
+// sscan parses one float/int from a table cell.
+func sscan(cell string, out interface{}) (int, error) {
+	return fmt.Fscan(strings.NewReader(cell), out)
+}

@@ -1,0 +1,162 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. V) on the synthetic workload suite: one exported
+// function per experiment, each returning a stats.Table whose rows are the
+// data series the corresponding paper figure plots. EXPERIMENTS.md records
+// the paper-vs-measured comparison for each.
+package experiments
+
+import (
+	"fmt"
+
+	"acb/internal/bpu"
+	"acb/internal/config"
+	"acb/internal/core"
+	"acb/internal/dmp"
+	"acb/internal/isa"
+	"acb/internal/ooo"
+	"acb/internal/stats"
+	"acb/internal/workload"
+)
+
+// Options controls an experiment run.
+type Options struct {
+	// Budget is the retired-instruction budget per simulation.
+	Budget int64
+	// Workloads defaults to the full suite.
+	Workloads []workload.Workload
+	// Config defaults to the Skylake-like baseline.
+	Config config.Core
+	// Verbose emits per-run progress through Logf.
+	Verbose bool
+	Logf    func(format string, args ...interface{})
+}
+
+// DefaultOptions returns the budget and configuration used by the bench
+// harness.
+func DefaultOptions() Options {
+	return Options{
+		Budget: 400_000,
+		Config: config.Skylake(),
+	}
+}
+
+func (o *Options) fill() {
+	if o.Budget == 0 {
+		o.Budget = 400_000
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = workload.All()
+	}
+	if o.Config.Name == "" {
+		o.Config = config.Skylake()
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...interface{}) {}
+	}
+}
+
+// SchemeKind names the simulation variants.
+type SchemeKind string
+
+// Variants.
+const (
+	SchemeBaseline    SchemeKind = "baseline"
+	SchemePerfectBP   SchemeKind = "perfect-bp"
+	SchemeACB         SchemeKind = "acb"
+	SchemeACBNoDynamo SchemeKind = "acb-nodynamo"
+	SchemeACBEager    SchemeKind = "acb-eager"
+	SchemeDMP         SchemeKind = "dmp"
+	SchemeDMPPBH      SchemeKind = "dmp-pbh"
+	SchemeDHP         SchemeKind = "dhp"
+)
+
+// profiles caches DMP profiling results per workload (the compiler pass
+// runs once per binary, not once per simulation).
+type profileCache struct {
+	m map[string][]dmp.Candidate
+}
+
+func newProfileCache() *profileCache { return &profileCache{m: make(map[string][]dmp.Candidate)} }
+
+func (pc *profileCache) get(w *workload.Workload, _ []isa.Instruction, _ *isa.Memory) []dmp.Candidate {
+	if c, ok := pc.m[w.Name]; ok {
+		return c
+	}
+	// The compiler pass profiles the *training* input (the paper's
+	// Sec. II-B/V-C point about input mismatch); the simulation then runs
+	// the actual input.
+	tp, tm := w.BuildTrain()
+	c := dmp.Profile(tp, tm, dmp.DefaultProfileConfig())
+	pc.m[w.Name] = c
+	return c
+}
+
+// runOne simulates one workload under one scheme variant.
+func runOne(opts *Options, cache *profileCache, w *workload.Workload, kind SchemeKind) ooo.Result {
+	p, m := w.Build()
+
+	var predictor bpu.Predictor = bpu.NewTAGE(bpu.DefaultTAGEConfig())
+	var scheme ooo.Scheme
+	switch kind {
+	case SchemeBaseline:
+	case SchemePerfectBP:
+		predictor = bpu.NewOracle()
+	case SchemeACB:
+		scheme = core.New(core.DefaultConfig())
+	case SchemeACBNoDynamo:
+		cfg := core.DefaultConfig()
+		cfg.UseDynamo = false
+		scheme = core.New(cfg)
+	case SchemeACBEager:
+		cfg := core.DefaultConfig()
+		cfg.Eager = true
+		scheme = core.New(cfg)
+	case SchemeDMP:
+		scheme = dmp.New(dmp.DefaultConfig(dmp.ModeDMP), cache.get(w, p, m))
+	case SchemeDMPPBH:
+		cfg := dmp.DefaultConfig(dmp.ModeDMP)
+		cfg.PerfectBranchHistory = true
+		scheme = dmp.New(cfg, cache.get(w, p, m))
+	case SchemeDHP:
+		scheme = dmp.New(dmp.DefaultConfig(dmp.ModeDHP), cache.get(w, p, m))
+	default:
+		panic(fmt.Sprintf("experiments: unknown scheme %q", kind))
+	}
+
+	c := ooo.NewWithMemory(opts.Config, p, predictor, scheme, m)
+	res, err := c.Run(opts.Budget)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s/%s: %v", w.Name, kind, err))
+	}
+	opts.Logf("%-12s %-12s IPC=%.3f flushes/k=%.2f", w.Name, kind, res.IPC, res.FlushPerKilo())
+	return res
+}
+
+// sweep runs every workload under each scheme variant and returns
+// per-workload results keyed by scheme.
+func sweep(opts Options, kinds ...SchemeKind) map[string]map[SchemeKind]ooo.Result {
+	opts.fill()
+	cache := newProfileCache()
+	out := make(map[string]map[SchemeKind]ooo.Result, len(opts.Workloads))
+	for i := range opts.Workloads {
+		w := &opts.Workloads[i]
+		res := make(map[SchemeKind]ooo.Result, len(kinds))
+		for _, k := range kinds {
+			res[k] = runOne(&opts, cache, w, k)
+		}
+		out[w.Name] = res
+	}
+	return out
+}
+
+// speedup returns b.IPC / a.IPC.
+func speedup(a, b ooo.Result) float64 { return stats.Ratio(b.IPC, a.IPC) }
+
+// geomeanSpeedup aggregates over workloads.
+func geomeanSpeedup(results map[string]map[SchemeKind]ooo.Result, base, other SchemeKind) float64 {
+	var xs []float64
+	for _, r := range results {
+		xs = append(xs, speedup(r[base], r[other]))
+	}
+	return stats.Geomean(xs)
+}

@@ -1,0 +1,209 @@
+package isa
+
+import "fmt"
+
+// Mem is the functional-memory interface: whole 64-bit words addressed by
+// byte address (the low three address bits are ignored by implementations;
+// the timing model uses full byte addresses for cache indexing).
+type Mem interface {
+	Load(addr int64) int64
+	Store(addr, val int64)
+}
+
+// Memory is a sparse, word-addressed functional memory.
+type Memory struct {
+	pages map[int64]*[pageWords]int64
+}
+
+const (
+	pageShift = 12 // 4 KiB pages
+	pageBytes = 1 << pageShift
+	pageWords = pageBytes / 8
+)
+
+// NewMemory returns an empty memory; all words read as zero.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[int64]*[pageWords]int64)}
+}
+
+// Load reads the 64-bit word containing byte address addr.
+func (m *Memory) Load(addr int64) int64 {
+	page, ok := m.pages[addr>>pageShift]
+	if !ok {
+		return 0
+	}
+	return page[(addr%pageBytes)/8]
+}
+
+// Store writes the 64-bit word containing byte address addr.
+func (m *Memory) Store(addr, val int64) {
+	idx := addr >> pageShift
+	page, ok := m.pages[idx]
+	if !ok {
+		page = new([pageWords]int64)
+		m.pages[idx] = page
+	}
+	page[(addr%pageBytes)/8] = val
+}
+
+// Clone returns a deep copy of the memory.
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for idx, page := range m.pages {
+		cp := *page
+		c.pages[idx] = &cp
+	}
+	return c
+}
+
+// Footprint returns the number of resident pages (for tests/diagnostics).
+func (m *Memory) Footprint() int { return len(m.pages) }
+
+// Overlay is a copy-on-write view over a base memory. Reads consult the
+// overlay's private writes first; Commit applies them to the base. The
+// fetch engine uses it to scan ahead speculatively (e.g. to locate an ACB
+// reconvergence point on the architecturally-correct path) without
+// disturbing the oracle state until the scan is known to succeed.
+type Overlay struct {
+	base   Mem
+	writes map[int64]int64
+}
+
+// NewOverlay returns an overlay over base with no private writes.
+func NewOverlay(base Mem) *Overlay {
+	return &Overlay{base: base, writes: make(map[int64]int64)}
+}
+
+// Load implements Mem.
+func (o *Overlay) Load(addr int64) int64 {
+	if v, ok := o.writes[addr&^7]; ok {
+		return v
+	}
+	return o.base.Load(addr)
+}
+
+// Store implements Mem.
+func (o *Overlay) Store(addr, val int64) { o.writes[addr&^7] = val }
+
+// Commit applies the overlay's private writes to the base memory.
+func (o *Overlay) Commit() {
+	for a, v := range o.writes {
+		o.base.Store(a, v)
+	}
+	o.writes = make(map[int64]int64)
+}
+
+// Discard drops the overlay's private writes.
+func (o *Overlay) Discard() { o.writes = make(map[int64]int64) }
+
+// SnapshotWrites returns a copy of the overlay's private writes.
+func (o *Overlay) SnapshotWrites() map[int64]int64 {
+	cp := make(map[int64]int64, len(o.writes))
+	for a, v := range o.writes {
+		cp[a] = v
+	}
+	return cp
+}
+
+// RestoreWrites replaces the overlay's private writes with w (which the
+// overlay takes ownership of).
+func (o *Overlay) RestoreWrites(w map[int64]int64) {
+	if w == nil {
+		w = make(map[int64]int64)
+	}
+	o.writes = w
+}
+
+// ArchState is the complete architectural state of the machine.
+type ArchState struct {
+	PC   int
+	Regs [NumRegs]int64
+	Mem  Mem
+}
+
+// NewArchState returns a reset architectural state with the given memory
+// image (nil allocates an empty memory).
+func NewArchState(mem Mem) *ArchState {
+	if mem == nil {
+		mem = NewMemory()
+	}
+	return &ArchState{Mem: mem}
+}
+
+// StepResult describes the architectural effect of executing one
+// instruction.
+type StepResult struct {
+	Inst     *Instruction
+	PC       int   // PC of the executed instruction
+	NextPC   int   // PC of the next instruction
+	Taken    bool  // for branches: whether the branch was taken
+	EffAddr  int64 // for loads/stores: effective address
+	Value    int64 // destination value (loads/ALU) or stored value
+	Halted   bool  // instruction was Halt
+	HasValue bool  // Value holds a destination write
+}
+
+// Step functionally executes the instruction at the current PC and advances
+// the state. It returns the architectural effects of the instruction.
+func (s *ArchState) Step(prog []Instruction) StepResult {
+	if s.PC < 0 || s.PC >= len(prog) {
+		panic(fmt.Sprintf("isa: PC %d out of range [0,%d)", s.PC, len(prog)))
+	}
+	in := &prog[s.PC]
+	res := StepResult{Inst: in, PC: s.PC, NextPC: s.PC + 1}
+	switch in.Op {
+	case Nop:
+	case Halt:
+		res.Halted = true
+		res.NextPC = s.PC
+	case Load:
+		res.EffAddr = s.Regs[in.Rs1] + in.Imm
+		res.Value = s.Mem.Load(res.EffAddr)
+		res.HasValue = true
+		s.Regs[in.Rd] = res.Value
+	case Store:
+		res.EffAddr = s.Regs[in.Rs1] + in.Imm
+		res.Value = s.Regs[in.Rs2]
+		s.Mem.Store(res.EffAddr, res.Value)
+	case Br:
+		a := s.Regs[in.Rs1]
+		var b int64
+		if in.Cond.UsesRs2() {
+			b = s.Regs[in.Rs2]
+		}
+		res.Taken = in.Cond.Eval(a, b)
+		if res.Taken {
+			res.NextPC = in.Target
+		}
+	case Jmp:
+		res.Taken = true
+		res.NextPC = in.Target
+	default:
+		var a, b int64
+		switch in.NumSources() {
+		case 2:
+			a, b = s.Regs[in.Rs1], s.Regs[in.Rs2]
+		case 1:
+			a = s.Regs[in.Rs1]
+		}
+		res.Value = in.ALUResult(a, b)
+		res.HasValue = true
+		s.Regs[in.Rd] = res.Value
+	}
+	s.PC = res.NextPC
+	return res
+}
+
+// Run executes until Halt or until maxSteps instructions have retired,
+// returning the number of instructions executed and whether the program
+// halted.
+func (s *ArchState) Run(prog []Instruction, maxSteps int64) (steps int64, halted bool) {
+	for steps < maxSteps {
+		res := s.Step(prog)
+		steps++
+		if res.Halted {
+			return steps, true
+		}
+	}
+	return steps, false
+}

@@ -1,0 +1,130 @@
+package isa
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleProgram() []Instruction {
+	return []Instruction{
+		{Op: MovI, Rd: R1, Imm: -42},
+		{Op: Add, Rd: R2, Rs1: R1, Rs2: R3},
+		{Op: Load, Rd: R4, Rs1: R2, Imm: 0x1000},
+		{Op: Br, Cond: LTR, Rs1: R4, Rs2: R1, Target: 5},
+		{Op: Store, Rs1: R2, Rs2: R4, Imm: 8},
+		{Op: Jmp, Target: 0},
+		{Op: Halt},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := sampleProgram()
+	var buf bytes.Buffer
+	if err := EncodeProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+// TestEncodeDecodeProperty: random valid instructions survive the round
+// trip (property-based).
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(op, cond, rd, rs1, rs2 uint8, imm int64, rel int16) bool {
+		in := Instruction{
+			Op:   Op(op % uint8(numOps)),
+			Cond: Cond(cond % uint8(numConds)),
+			Rd:   Reg(rd % NumRegs),
+			Rs1:  Reg(rs1 % NumRegs),
+			Rs2:  Reg(rs2 % NumRegs),
+			Imm:  imm,
+		}
+		// Build a 3-instruction program with the instruction in the
+		// middle; clamp control targets into range.
+		p := []Instruction{{Op: Nop}, in, {Op: Halt}}
+		if p[1].IsControl() {
+			p[1].Target = int(rel)%3 + 0 // 0..2 after normalization below
+			if p[1].Target < 0 {
+				p[1].Target = -p[1].Target
+			}
+		}
+		var buf bytes.Buffer
+		if err := EncodeProgram(&buf, p); err != nil {
+			return false
+		}
+		got, err := DecodeProgram(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	if _, err := DecodeProgram(bytes.NewReader([]byte("XXXX\x01\x00\x00\x00\x00\x00"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	p := []Instruction{{Op: Nop}}
+	var buf bytes.Buffer
+	if err := EncodeProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[10] = 200 // corrupt the opcode byte of the first record
+	if _, err := DecodeProgram(bytes.NewReader(b)); err == nil {
+		t.Fatal("invalid opcode accepted")
+	}
+}
+
+func TestDecodeRejectsOutOfProgramTarget(t *testing.T) {
+	p := []Instruction{{Op: Jmp, Target: 0}}
+	var buf bytes.Buffer
+	if err := EncodeProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Rewrite the relative target to jump far past the end.
+	b[16] = 0x10
+	b[17] = 0x00
+	if _, err := DecodeProgram(bytes.NewReader(b)); err == nil {
+		t.Fatal("out-of-program target accepted")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	p := sampleProgram()
+	var buf bytes.Buffer
+	if err := EncodeProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[:len(buf.Bytes())-5]
+	if _, err := DecodeProgram(bytes.NewReader(b)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestEncodeRejectsHugeOffset(t *testing.T) {
+	p := make([]Instruction, 40000)
+	for i := range p {
+		p[i] = Instruction{Op: Nop}
+	}
+	p[0] = Instruction{Op: Jmp, Target: 39999}
+	p[len(p)-1] = Instruction{Op: Halt}
+	var buf bytes.Buffer
+	if err := EncodeProgram(&buf, p); err == nil {
+		t.Fatal("16-bit offset overflow not rejected")
+	}
+}

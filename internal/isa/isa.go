@@ -1,0 +1,312 @@
+// Package isa defines the instruction set of the simulated machine.
+//
+// The ISA is a small RISC-like register machine: 16 general-purpose 64-bit
+// integer registers, word-addressed memory, direct conditional branches and
+// direct unconditional jumps. It is deliberately minimal — Auto-Predication
+// of Critical Branches (ACB) operates on conditional direct branches,
+// hammock bodies and reconvergence points, all of which are expressible
+// here — while remaining rich enough to construct data-dependent,
+// hard-to-predict control flow and realistic memory behaviour.
+//
+// A program is a slice of Instruction values addressed by index ("PC").
+// Branch and jump targets are PC indices resolved at assembly time by
+// package prog.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of architectural integer registers (r0..r15).
+// r0 is a normal register, not hardwired to zero.
+const NumRegs = 16
+
+// Reg names an architectural register.
+type Reg uint8
+
+// Register aliases used throughout the workloads and tests.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+)
+
+// String returns the assembly name of the register.
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Op enumerates the operations of the ISA.
+type Op uint8
+
+// Operations. Arithmetic ops are three-register unless suffixed with I
+// (register-immediate). Load reads rd = mem[rs1+imm]; Store writes
+// mem[rs1+imm] = rs2. Br is a direct conditional branch comparing rs1
+// against zero (or against rs2 for the *R conditions); Jmp is a direct
+// unconditional jump. Halt ends the program.
+const (
+	Nop Op = iota
+	Add
+	Sub
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Mul
+	Div
+	AddI
+	AndI
+	XorI
+	ShrI
+	MulI
+	Mov  // rd = rs1
+	MovI // rd = imm
+	Load
+	Store
+	Br
+	Jmp
+	Halt
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	Nop:   "nop",
+	Add:   "add",
+	Sub:   "sub",
+	And:   "and",
+	Or:    "or",
+	Xor:   "xor",
+	Shl:   "shl",
+	Shr:   "shr",
+	Mul:   "mul",
+	Div:   "div",
+	AddI:  "addi",
+	AndI:  "andi",
+	XorI:  "xori",
+	ShrI:  "shri",
+	MulI:  "muli",
+	Mov:   "mov",
+	MovI:  "movi",
+	Load:  "load",
+	Store: "store",
+	Br:    "br",
+	Jmp:   "jmp",
+	Halt:  "halt",
+}
+
+// String returns the mnemonic for the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Cond enumerates branch conditions. Z-suffixed conditions compare rs1
+// against zero; R-suffixed conditions compare rs1 against rs2.
+type Cond uint8
+
+// Branch conditions.
+const (
+	EQZ Cond = iota // rs1 == 0
+	NEZ             // rs1 != 0
+	LTZ             // rs1 < 0
+	GEZ             // rs1 >= 0
+	EQR             // rs1 == rs2
+	NER             // rs1 != rs2
+	LTR             // rs1 < rs2
+	GER             // rs1 >= rs2
+
+	numConds
+)
+
+var condNames = [numConds]string{
+	EQZ: "eqz", NEZ: "nez", LTZ: "ltz", GEZ: "gez",
+	EQR: "eqr", NER: "ner", LTR: "ltr", GER: "ger",
+}
+
+// String returns the assembly name of the condition.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// UsesRs2 reports whether the condition reads a second register operand.
+func (c Cond) UsesRs2() bool { return c >= EQR }
+
+// Eval evaluates the condition given the operand values.
+func (c Cond) Eval(a, b int64) bool {
+	switch c {
+	case EQZ:
+		return a == 0
+	case NEZ:
+		return a != 0
+	case LTZ:
+		return a < 0
+	case GEZ:
+		return a >= 0
+	case EQR:
+		return a == b
+	case NER:
+		return a != b
+	case LTR:
+		return a < b
+	case GER:
+		return a >= b
+	}
+	panic(fmt.Sprintf("isa: invalid condition %d", uint8(c)))
+}
+
+// Instruction is one decoded instruction. Fields that an operation does not
+// use are zero. Target is a program counter index (valid for Br and Jmp).
+type Instruction struct {
+	Op     Op
+	Cond   Cond
+	Rd     Reg
+	Rs1    Reg
+	Rs2    Reg
+	Imm    int64
+	Target int
+}
+
+// HasDest reports whether the instruction writes a destination register.
+func (in *Instruction) HasDest() bool {
+	switch in.Op {
+	case Add, Sub, And, Or, Xor, Shl, Shr, Mul, Div,
+		AddI, AndI, XorI, ShrI, MulI, Mov, MovI, Load:
+		return true
+	}
+	return false
+}
+
+// NumSources returns how many register sources the instruction reads.
+func (in *Instruction) NumSources() int {
+	switch in.Op {
+	case Add, Sub, And, Or, Xor, Shl, Shr, Mul, Div, Store:
+		return 2
+	case AddI, AndI, XorI, ShrI, MulI, Mov, Load:
+		return 1
+	case Br:
+		if in.Cond.UsesRs2() {
+			return 2
+		}
+		return 1
+	}
+	return 0
+}
+
+// Sources returns the register sources actually read by the instruction.
+// The second return value is the count (0, 1 or 2).
+func (in *Instruction) Sources() ([2]Reg, int) {
+	n := in.NumSources()
+	return [2]Reg{in.Rs1, in.Rs2}, n
+}
+
+// IsBranch reports whether the instruction is a conditional direct branch.
+func (in *Instruction) IsBranch() bool { return in.Op == Br }
+
+// IsJump reports whether the instruction is an unconditional direct jump.
+func (in *Instruction) IsJump() bool { return in.Op == Jmp }
+
+// IsControl reports whether the instruction can redirect control flow.
+func (in *Instruction) IsControl() bool { return in.Op == Br || in.Op == Jmp }
+
+// IsMem reports whether the instruction accesses memory.
+func (in *Instruction) IsMem() bool { return in.Op == Load || in.Op == Store }
+
+// String disassembles the instruction.
+func (in *Instruction) String() string {
+	switch in.Op {
+	case Nop, Halt:
+		return in.Op.String()
+	case Add, Sub, And, Or, Xor, Shl, Shr, Mul, Div:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case AddI, AndI, XorI, ShrI, MulI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case Mov:
+		return fmt.Sprintf("mov %s, %s", in.Rd, in.Rs1)
+	case MovI:
+		return fmt.Sprintf("movi %s, %d", in.Rd, in.Imm)
+	case Load:
+		return fmt.Sprintf("load %s, [%s+%d]", in.Rd, in.Rs1, in.Imm)
+	case Store:
+		return fmt.Sprintf("store [%s+%d], %s", in.Rs1, in.Imm, in.Rs2)
+	case Br:
+		if in.Cond.UsesRs2() {
+			return fmt.Sprintf("br.%s %s, %s, @%d", in.Cond, in.Rs1, in.Rs2, in.Target)
+		}
+		return fmt.Sprintf("br.%s %s, @%d", in.Cond, in.Rs1, in.Target)
+	case Jmp:
+		return fmt.Sprintf("jmp @%d", in.Target)
+	}
+	return fmt.Sprintf("?(%d)", uint8(in.Op))
+}
+
+// ExecLatency returns the execution latency in cycles for non-memory
+// operations (memory latency is determined by the cache hierarchy).
+func (in *Instruction) ExecLatency() int {
+	switch in.Op {
+	case Mul, MulI:
+		return 3
+	case Div:
+		return 20
+	default:
+		return 1
+	}
+}
+
+// ALUResult computes the architectural result of a non-memory,
+// non-control instruction from its operand values.
+func (in *Instruction) ALUResult(a, b int64) int64 {
+	switch in.Op {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case And:
+		return a & b
+	case Or:
+		return a | b
+	case Xor:
+		return a ^ b
+	case Shl:
+		return a << (uint64(b) & 63)
+	case Shr:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	case Mul:
+		return a * b
+	case Div:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case AddI:
+		return a + in.Imm
+	case AndI:
+		return a & in.Imm
+	case XorI:
+		return a ^ in.Imm
+	case ShrI:
+		return int64(uint64(a) >> (uint64(in.Imm) & 63))
+	case MulI:
+		return a * in.Imm
+	case Mov:
+		return a
+	case MovI:
+		return in.Imm
+	}
+	panic(fmt.Sprintf("isa: ALUResult on %s", in.Op))
+}

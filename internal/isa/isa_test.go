@@ -1,0 +1,168 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		Nop: "nop", Add: "add", AddI: "addi", MovI: "movi",
+		Load: "load", Store: "store", Br: "br", Jmp: "jmp", Halt: "halt",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Errorf("invalid op = %q", got)
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		c       Cond
+		a, b    int64
+		want    bool
+		usesRs2 bool
+	}{
+		{EQZ, 0, 99, true, false},
+		{EQZ, 1, 0, false, false},
+		{NEZ, 1, 0, true, false},
+		{NEZ, 0, 0, false, false},
+		{LTZ, -1, 0, true, false},
+		{LTZ, 0, 0, false, false},
+		{GEZ, 0, 0, true, false},
+		{GEZ, -5, 0, false, false},
+		{EQR, 3, 3, true, true},
+		{EQR, 3, 4, false, true},
+		{NER, 3, 4, true, true},
+		{LTR, -2, 5, true, true},
+		{LTR, 5, -2, false, true},
+		{GER, 5, 5, true, true},
+		{GER, 4, 5, false, true},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Eval(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s.Eval(%d,%d) = %v, want %v", tc.c, tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.c.UsesRs2(); got != tc.usesRs2 {
+			t.Errorf("%s.UsesRs2() = %v, want %v", tc.c, got, tc.usesRs2)
+		}
+	}
+}
+
+// TestCondComplement: each zero-comparing condition has a complement with
+// the opposite outcome for every operand (property-based).
+func TestCondComplement(t *testing.T) {
+	pairs := [][2]Cond{{EQZ, NEZ}, {LTZ, GEZ}, {EQR, NER}, {LTR, GER}}
+	f := func(a, b int64) bool {
+		for _, p := range pairs {
+			if p[0].Eval(a, b) == p[1].Eval(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstructionMetadata(t *testing.T) {
+	cases := []struct {
+		in      Instruction
+		dest    bool
+		nsrc    int
+		branch  bool
+		control bool
+		memOp   bool
+	}{
+		{Instruction{Op: Add, Rd: R1, Rs1: R2, Rs2: R3}, true, 2, false, false, false},
+		{Instruction{Op: AddI, Rd: R1, Rs1: R2}, true, 1, false, false, false},
+		{Instruction{Op: MovI, Rd: R1}, true, 0, false, false, false},
+		{Instruction{Op: Load, Rd: R1, Rs1: R2}, true, 1, false, false, true},
+		{Instruction{Op: Store, Rs1: R1, Rs2: R2}, false, 2, false, false, true},
+		{Instruction{Op: Br, Cond: EQZ, Rs1: R1}, false, 1, true, true, false},
+		{Instruction{Op: Br, Cond: LTR, Rs1: R1, Rs2: R2}, false, 2, true, true, false},
+		{Instruction{Op: Jmp}, false, 0, false, true, false},
+		{Instruction{Op: Halt}, false, 0, false, false, false},
+		{Instruction{Op: Nop}, false, 0, false, false, false},
+	}
+	for _, tc := range cases {
+		if got := tc.in.HasDest(); got != tc.dest {
+			t.Errorf("%s HasDest = %v, want %v", tc.in.String(), got, tc.dest)
+		}
+		if got := tc.in.NumSources(); got != tc.nsrc {
+			t.Errorf("%s NumSources = %d, want %d", tc.in.String(), got, tc.nsrc)
+		}
+		if got := tc.in.IsBranch(); got != tc.branch {
+			t.Errorf("%s IsBranch = %v, want %v", tc.in.String(), got, tc.branch)
+		}
+		if got := tc.in.IsControl(); got != tc.control {
+			t.Errorf("%s IsControl = %v, want %v", tc.in.String(), got, tc.control)
+		}
+		if got := tc.in.IsMem(); got != tc.memOp {
+			t.Errorf("%s IsMem = %v, want %v", tc.in.String(), got, tc.memOp)
+		}
+	}
+}
+
+func TestALUResult(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		a, b int64
+		want int64
+	}{
+		{Instruction{Op: Add}, 2, 3, 5},
+		{Instruction{Op: Sub}, 2, 3, -1},
+		{Instruction{Op: And}, 0b1100, 0b1010, 0b1000},
+		{Instruction{Op: Or}, 0b1100, 0b1010, 0b1110},
+		{Instruction{Op: Xor}, 0b1100, 0b1010, 0b0110},
+		{Instruction{Op: Shl}, 1, 4, 16},
+		{Instruction{Op: Shr}, -8, 1, int64(uint64(0xFFFFFFFFFFFFFFF8) >> 1)},
+		{Instruction{Op: Mul}, 7, 6, 42},
+		{Instruction{Op: Div}, 42, 6, 7},
+		{Instruction{Op: Div}, 42, 0, 0}, // division by zero defined as 0
+		{Instruction{Op: AddI, Imm: 10}, 5, 0, 15},
+		{Instruction{Op: AndI, Imm: 0xF}, 0x3C, 0, 0xC},
+		{Instruction{Op: XorI, Imm: 0xFF}, 0x0F, 0, 0xF0},
+		{Instruction{Op: ShrI, Imm: 3}, 64, 0, 8},
+		{Instruction{Op: MulI, Imm: -2}, 21, 0, -42},
+		{Instruction{Op: Mov}, 99, 0, 99},
+		{Instruction{Op: MovI, Imm: -7}, 0, 0, -7},
+	}
+	for _, tc := range cases {
+		if got := tc.in.ALUResult(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s ALUResult(%d,%d) = %d, want %d", tc.in.Op, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestExecLatency(t *testing.T) {
+	if (&Instruction{Op: Mul}).ExecLatency() != 3 {
+		t.Error("mul latency != 3")
+	}
+	if (&Instruction{Op: Div}).ExecLatency() != 20 {
+		t.Error("div latency != 20")
+	}
+	if (&Instruction{Op: Add}).ExecLatency() != 1 {
+		t.Error("add latency != 1")
+	}
+}
+
+// TestShiftMasking: shift amounts are masked to 6 bits — no panics or
+// undefined results for any operand (property-based).
+func TestShiftMasking(t *testing.T) {
+	f := func(a, b int64) bool {
+		shl := Instruction{Op: Shl}
+		shr := Instruction{Op: Shr}
+		_ = shl.ALUResult(a, b)
+		_ = shr.ALUResult(a, b)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package mem models the data-side memory hierarchy: set-associative
+// write-back caches with LRU replacement (L1D, L2, LLC) in front of a
+// fixed-latency DRAM. The timing model is intentionally simple — loads
+// receive a latency from the hierarchy on dispatch, stores fill on commit —
+// but it produces the phenomenon the paper's criticality analysis needs:
+// long-latency LLC-missing loads that dominate the critical path and
+// shadow branch mispredictions (Sec. II-A, the soplex effect).
+package mem
+
+// Cache is one set-associative, LRU, write-allocate cache level.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	lineBits uint
+	latency  int
+
+	tags  []uint64 // sets*ways entries; tag 0 means empty (tags stored +1)
+	lru   []uint64 // per-way last-use stamp
+	stamp uint64
+
+	hits   int64
+	misses int64
+}
+
+// NewCache returns a cache with sizeBytes capacity, the given
+// associativity, 64-byte lines and hit latency in cycles.
+func NewCache(name string, sizeBytes, ways, latency int) *Cache {
+	const lineBytes = 64
+	sets := sizeBytes / lineBytes / ways
+	if sets < 1 {
+		sets = 1
+	}
+	return &Cache{
+		name:     name,
+		sets:     sets,
+		ways:     ways,
+		lineBits: 6,
+		latency:  latency,
+		tags:     make([]uint64, sets*ways),
+		lru:      make([]uint64, sets*ways),
+	}
+}
+
+// Name returns the cache level's name.
+func (c *Cache) Name() string { return c.name }
+
+// Latency returns the hit latency of this level.
+func (c *Cache) Latency() int { return c.latency }
+
+// Hits returns the number of hits recorded.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses returns the number of misses recorded.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Access probes the cache for the line containing addr and fills it on a
+// miss; it returns true on hit.
+func (c *Cache) Access(addr int64) bool {
+	line := uint64(addr) >> c.lineBits
+	set := int(line % uint64(c.sets))
+	tag := line + 1 // avoid the zero (empty) encoding
+	base := set * c.ways
+	c.stamp++
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == tag {
+			c.hits++
+			c.lru[base+w] = c.stamp
+			return true
+		}
+	}
+	c.misses++
+	// Fill: evict the least-recently-used way.
+	victim := base
+	for w := 1; w < c.ways; w++ {
+		if c.lru[base+w] < c.lru[victim] {
+			victim = base + w
+		}
+	}
+	c.tags[victim] = tag
+	c.lru[victim] = c.stamp
+	return false
+}
+
+// Contains probes without updating any state (for tests).
+func (c *Cache) Contains(addr int64) bool {
+	line := uint64(addr) >> c.lineBits
+	set := int(line % uint64(c.sets))
+	tag := line + 1
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Hierarchy is a three-level cache hierarchy over DRAM.
+type Hierarchy struct {
+	L1D *Cache
+	L2  *Cache
+	LLC *Cache
+	// DRAMLatency is the total load-to-use latency of a memory access
+	// that misses all levels.
+	DRAMLatency int
+}
+
+// HierarchyConfig sizes the hierarchy.
+type HierarchyConfig struct {
+	L1Size, L1Ways, L1Lat    int
+	L2Size, L2Ways, L2Lat    int
+	LLCSize, LLCWays, LLCLat int
+	DRAMLatency              int
+}
+
+// SkylakeHierarchy returns latencies and sizes similar to the paper's
+// Skylake-like baseline (Table II): 32K/8w L1D (5 cyc), 256K/8w L2
+// (15 cyc), 8M/16w LLC (40 cyc), ~200-cycle DRAM.
+func SkylakeHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		L1Size: 32 << 10, L1Ways: 8, L1Lat: 5,
+		L2Size: 256 << 10, L2Ways: 8, L2Lat: 15,
+		LLCSize: 8 << 20, LLCWays: 16, LLCLat: 40,
+		DRAMLatency: 200,
+	}
+}
+
+// NewHierarchy builds the hierarchy from a config.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		L1D:         NewCache("L1D", cfg.L1Size, cfg.L1Ways, cfg.L1Lat),
+		L2:          NewCache("L2", cfg.L2Size, cfg.L2Ways, cfg.L2Lat),
+		LLC:         NewCache("LLC", cfg.LLCSize, cfg.LLCWays, cfg.LLCLat),
+		DRAMLatency: cfg.DRAMLatency,
+	}
+}
+
+// LoadLatency performs a load access and returns its latency in cycles.
+func (h *Hierarchy) LoadLatency(addr int64) int {
+	if h.L1D.Access(addr) {
+		return h.L1D.Latency()
+	}
+	if h.L2.Access(addr) {
+		return h.L2.Latency()
+	}
+	if h.LLC.Access(addr) {
+		return h.LLC.Latency()
+	}
+	return h.DRAMLatency
+}
+
+// StoreCommit installs the line written by a committing store; stores do
+// not stall the pipeline in this model.
+func (h *Hierarchy) StoreCommit(addr int64) {
+	if h.L1D.Access(addr) {
+		return
+	}
+	if h.L2.Access(addr) {
+		return
+	}
+	h.LLC.Access(addr)
+}

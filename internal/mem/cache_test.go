@@ -1,0 +1,126 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := NewCache("L1", 32<<10, 8, 5)
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x103F) { // same 64B line
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(0x1040) { // next line
+		t.Fatal("next-line access hit")
+	}
+	if c.Hits() != 2 || c.Misses() != 2 {
+		t.Fatalf("hits=%d misses=%d, want 2/2", c.Hits(), c.Misses())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way, 2-set tiny cache: 4 lines of 64B = 256B.
+	c := NewCache("tiny", 256, 2, 1)
+	// Three distinct lines mapping to the same set (stride = sets*64 = 128).
+	a, b, d := int64(0), int64(128), int64(256)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // touch a so b is LRU
+	c.Access(d) // evicts b
+	if !c.Contains(a) {
+		t.Fatal("a evicted despite being MRU")
+	}
+	if c.Contains(b) {
+		t.Fatal("b not evicted")
+	}
+	if !c.Contains(d) {
+		t.Fatal("d not filled")
+	}
+}
+
+func TestCacheContainsDoesNotMutate(t *testing.T) {
+	c := NewCache("x", 256, 2, 1)
+	if c.Contains(0) {
+		t.Fatal("empty cache contains line")
+	}
+	if c.Hits()+c.Misses() != 0 {
+		t.Fatal("Contains counted stats")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(SkylakeHierarchy())
+	addr := int64(0x123440)
+	if lat := h.LoadLatency(addr); lat != h.DRAMLatency {
+		t.Fatalf("cold load latency = %d, want DRAM %d", lat, h.DRAMLatency)
+	}
+	if lat := h.LoadLatency(addr); lat != h.L1D.Latency() {
+		t.Fatalf("warm load latency = %d, want L1 %d", lat, h.L1D.Latency())
+	}
+}
+
+func TestHierarchyInclusiveFillPath(t *testing.T) {
+	h := NewHierarchy(SkylakeHierarchy())
+	addr := int64(0x40000)
+	h.LoadLatency(addr) // fills all levels
+	if !h.L1D.Contains(addr) || !h.L2.Contains(addr) || !h.LLC.Contains(addr) {
+		t.Fatal("miss did not fill the hierarchy")
+	}
+}
+
+// TestL1CapacityEviction: streaming a footprint beyond L1 capacity evicts
+// early lines from L1 but leaves them in L2.
+func TestL1CapacityEviction(t *testing.T) {
+	cfg := SkylakeHierarchy()
+	h := NewHierarchy(cfg)
+	lines := int64(cfg.L1Size/64) * 2
+	for i := int64(0); i < lines; i++ {
+		h.LoadLatency(i * 64)
+	}
+	if lat := h.LoadLatency(0); lat != cfg.L2Lat {
+		t.Fatalf("latency after L1 overflow = %d, want L2 %d", lat, cfg.L2Lat)
+	}
+}
+
+func TestStoreCommitFills(t *testing.T) {
+	h := NewHierarchy(SkylakeHierarchy())
+	addr := int64(0x9000)
+	h.StoreCommit(addr)
+	if lat := h.LoadLatency(addr); lat != h.L1D.Latency() {
+		t.Fatalf("load after store latency = %d, want L1", lat)
+	}
+}
+
+// TestCacheDeterministic: the same access sequence produces the same
+// hit/miss counts (property-based).
+func TestCacheDeterministic(t *testing.T) {
+	f := func(addrs []int64) bool {
+		c1 := NewCache("a", 4<<10, 4, 1)
+		c2 := NewCache("b", 4<<10, 4, 1)
+		for _, a := range addrs {
+			if a < 0 {
+				a = -a
+			}
+			c1.Access(a)
+			c2.Access(a)
+		}
+		return c1.Hits() == c2.Hits() && c1.Misses() == c2.Misses()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTinyCacheClamp(t *testing.T) {
+	c := NewCache("sub-line", 32, 1, 1) // smaller than one line per way
+	c.Access(0)
+	if !c.Contains(0) {
+		t.Fatal("single-set fallback broken")
+	}
+}

@@ -1,0 +1,4 @@
+package ooo
+
+// The ACB end-to-end smoke tests live in package ooo's black-box suite in
+// internal/core; this file only holds shared helpers used by both.

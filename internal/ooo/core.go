@@ -1,0 +1,382 @@
+// Package ooo implements a cycle-level out-of-order core simulator with
+// value-correct speculative execution: instructions are renamed onto a
+// physical register file holding real values, wrong-path instructions are
+// fetched and executed with whatever values they see, and pipeline flushes
+// restore register-alias-table checkpoints — the substrate the paper's
+// evaluation runs on (Sec. IV: "a cycle-accurate simulator that accurately
+// models the wrong path on branch mispredictions").
+//
+// Dynamic-predication schemes (ACB in internal/core, DMP/DHP in
+// internal/dmp) plug in through the Scheme interface; the front end then
+// dual-fetches selected branch instances up to their reconvergence point
+// and the backend applies either ACB's stall-and-register-transparency
+// discipline or DMP's eager select-µop discipline.
+package ooo
+
+import (
+	"errors"
+	"fmt"
+
+	"acb/internal/bpu"
+	"acb/internal/config"
+	"acb/internal/isa"
+	"acb/internal/mem"
+)
+
+// prfEntry is one physical register.
+type prfEntry struct {
+	val   int64
+	ready bool
+}
+
+// fetchedInst is one slot in the decoupled fetch queue between the fetch
+// engine and rename.
+type fetchedInst struct {
+	pc         int
+	inst       *isa.Instruction
+	readyCycle int64
+	wrongPath  bool
+
+	role      Role
+	ctx       *ctxState
+	pathTaken bool
+	ctxSwitch bool      // first instruction of the second fetched path
+	ctxClose  *ctxState // set on the first instruction after a context closes
+
+	hasPred     bool
+	pred        bpu.Prediction
+	predTaken   bool
+	trueKnown   bool
+	trueTaken   bool
+	histAtFetch uint64
+	wrongTok    *flushToken
+}
+
+// flushToken identifies the fetch-divergence cause so the flush that
+// repairs it can clear the wrong-path state. It must not be zero-sized:
+// tokens are compared by pointer identity, and Go gives every zero-size
+// allocation the same address.
+type flushToken struct{ _ byte }
+
+// oracleSnap snapshots the functional oracle at a predication-context
+// open, so a divergent context can rewind it.
+type oracleSnap struct {
+	ctx  *ctxState
+	regs [isa.NumRegs]int64
+	pc   int
+	mem  map[int64]int64
+}
+
+// selectSpec is a pending select micro-op awaiting an allocation slot.
+type selectSpec struct {
+	ctx   *ctxState
+	log   isa.Reg
+	selT  int
+	selN  int
+	frees []int
+}
+
+// Core is one simulated out-of-order core bound to a program.
+type Core struct {
+	cfg    config.Core
+	prog   []isa.Instruction
+	pred   bpu.Predictor
+	hier   *mem.Hierarchy
+	scheme Scheme
+
+	rob      *rob
+	rat      [isa.NumRegs]int
+	prf      []prfEntry
+	freeList []int
+
+	// commitRat is the retirement (architectural) register map: updated
+	// only when instructions retire, so Result.FinalRegs reflects
+	// committed state even when the run stops with work in flight.
+	commitRat [isa.NumRegs]int
+
+	iq     []int64
+	loads  []int64
+	stores []int64
+
+	fetchQ    []fetchedInst
+	fetchQCap int
+
+	// Fetch engine.
+	fetchPC     int
+	fetchParked bool
+	onWrongPath bool
+	wrongTok    *flushToken
+	dbgWrongPC  int
+	dbgWrongCyc int64
+	dbgWrongWhy string
+	dbgRing     []string
+
+	// Open predication context walk state.
+	ctx          *ctxState
+	ctxPhase     int // 1 or 2
+	ctxNext      int // next PC to fetch inside the context
+	ctxWalkTaken bool
+	ctxTrueIdx   int
+	ctxD2Start   int
+	pendingClose *ctxState
+	pendingSwtch bool
+	ctxIDGen     int64
+
+	liveCtxs []*ctxState
+
+	// Functional oracle (architecturally-correct execution running ahead
+	// of timing at fetch).
+	oracle       *isa.ArchState
+	oracleMem    *isa.Overlay
+	oracleHalted bool
+	snapshots    []oracleSnap
+
+	// commitMem is the retired (architectural) memory: stores write it at
+	// commit, loads read it beneath store-queue forwarding.
+	commitMem *isa.Memory
+
+	pendingSelects []selectSpec
+
+	completing map[int64][]int64
+
+	cycle   int64
+	retired int64
+	haltSeq int64
+
+	s     runStats
+	perPC map[int]*BranchStat
+	pipe  *PipeStats
+
+	epochRetireBase int64
+}
+
+// BranchStat aggregates retired-branch behaviour per static branch PC.
+type BranchStat struct {
+	Count      int64
+	Mispredict int64
+	Predicated int64
+	Diverged   int64
+	Taken      int64
+}
+
+type runStats struct {
+	flushes         int64
+	divFlushes      int64
+	mispredRetired  int64
+	condBranches    int64
+	branches        int64
+	predications    int64
+	allocations     int64
+	wrongPathAllocs int64
+	selectUops      int64
+	allocStallSlots int64
+	fetchCtxOpens   int64
+	transparentOps  int64
+	invalidatedMem  int64
+	loadForwards    int64
+}
+
+// Result reports one simulation run.
+type Result struct {
+	Scheme  string
+	Config  string
+	Cycles  int64
+	Retired int64
+	IPC     float64
+
+	CondBranches int64
+	Branches     int64
+	Mispredicts  int64 // retired mispredicted conditional branches
+	Flushes      int64 // all pipeline flushes (mispredict + divergence)
+	DivFlushes   int64
+	Predications int64 // dual-fetched branch instances
+
+	Allocations     int64 // total OOO allocations (incl. wrong path, selects)
+	WrongPathAllocs int64
+	SelectUops      int64
+	AllocStallSlots int64
+	TransparentOps  int64
+	InvalidatedMem  int64
+	LoadForwards    int64
+
+	L1Hits, L1Misses   int64
+	LLCHits, LLCMisses int64
+
+	PerBranch map[int]*BranchStat
+	FinalRegs [isa.NumRegs]int64
+	Halted    bool
+}
+
+// MispredPerKilo returns retired mispredictions per 1000 retired
+// instructions.
+func (r *Result) MispredPerKilo() float64 {
+	if r.Retired == 0 {
+		return 0
+	}
+	return float64(r.Mispredicts) * 1000 / float64(r.Retired)
+}
+
+// FlushPerKilo returns pipeline flushes per 1000 retired instructions.
+func (r *Result) FlushPerKilo() float64 {
+	if r.Retired == 0 {
+		return 0
+	}
+	return float64(r.Flushes) * 1000 / float64(r.Retired)
+}
+
+// New builds a core for the program with the given configuration,
+// predictor and optional predication scheme (nil = plain speculation).
+func New(cfg config.Core, program []isa.Instruction, predictor bpu.Predictor, scheme Scheme) *Core {
+	c := &Core{
+		cfg:        cfg,
+		prog:       program,
+		pred:       predictor,
+		hier:       mem.NewHierarchy(cfg.Mem),
+		scheme:     scheme,
+		rob:        newROB(cfg.ROBSize),
+		prf:        make([]prfEntry, cfg.PRFSize),
+		fetchQCap:  cfg.FetchWidth * cfg.FrontEndLatency,
+		completing: make(map[int64][]int64),
+		perPC:      make(map[int]*BranchStat),
+		haltSeq:    -1,
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		c.rat[r] = r
+		c.commitRat[r] = r
+		c.prf[r].ready = true
+	}
+	for p := isa.NumRegs; p < cfg.PRFSize; p++ {
+		c.freeList = append(c.freeList, p)
+	}
+	base := isa.NewMemory()
+	c.oracleMem = isa.NewOverlay(base)
+	c.oracle = isa.NewArchState(c.oracleMem)
+	return c
+}
+
+// NewWithMemory is New with an initial memory image. The oracle receives a
+// private clone (it runs ahead of retirement); the committed memory keeps
+// the original. Callers must not reuse the image afterwards.
+func NewWithMemory(cfg config.Core, program []isa.Instruction, predictor bpu.Predictor, scheme Scheme, image *isa.Memory) *Core {
+	c := New(cfg, program, predictor, scheme)
+	c.oracleMem = isa.NewOverlay(image.Clone())
+	c.oracle = isa.NewArchState(c.oracleMem)
+	c.commitMem = image
+	return c
+}
+
+// ErrDeadlock is returned when the pipeline makes no forward progress.
+var ErrDeadlock = errors.New("ooo: pipeline deadlock")
+
+// Run simulates until the program halts or maxRetired instructions have
+// retired, and returns the run's statistics.
+func (c *Core) Run(maxRetired int64) (Result, error) {
+	if c.commitMem == nil {
+		c.commitMem = isa.NewMemory()
+	}
+	var lastRetired int64
+	var stuck int64
+	halted := false
+	for c.retired < maxRetired {
+		c.cycle++
+		h := c.stepCycle()
+		if h {
+			halted = true
+			break
+		}
+		if c.retired == lastRetired {
+			stuck++
+			if stuck > 2_000_000 {
+				return c.result(halted), fmt.Errorf("%w at cycle %d (pc=%d retired=%d rob=%d)",
+					ErrDeadlock, c.cycle, c.fetchPC, c.retired, c.rob.occupancy())
+			}
+		} else {
+			stuck = 0
+			lastRetired = c.retired
+		}
+	}
+	return c.result(halted), nil
+}
+
+// stepCycle advances one cycle; it returns true when the program's Halt
+// retired.
+func (c *Core) stepCycle() bool {
+	halted := c.retireStage()
+	c.completeStage()
+	c.issueStage()
+	c.renameStage()
+	c.fetchStage()
+	if c.pipe != nil {
+		c.pipe.sample(c.rob.occupancy(), c.cfg.ROBSize, len(c.iq), c.cfg.IQSize)
+	}
+	return halted
+}
+
+func (c *Core) result(halted bool) Result {
+	res := Result{
+		Scheme:          c.schemeName(),
+		Config:          c.cfg.Name,
+		Cycles:          c.cycle,
+		Retired:         c.retired,
+		CondBranches:    c.s.condBranches,
+		Branches:        c.s.branches,
+		Mispredicts:     c.s.mispredRetired,
+		Flushes:         c.s.flushes,
+		DivFlushes:      c.s.divFlushes,
+		Predications:    c.s.predications,
+		Allocations:     c.s.allocations,
+		WrongPathAllocs: c.s.wrongPathAllocs,
+		SelectUops:      c.s.selectUops,
+		AllocStallSlots: c.s.allocStallSlots,
+		TransparentOps:  c.s.transparentOps,
+		InvalidatedMem:  c.s.invalidatedMem,
+		LoadForwards:    c.s.loadForwards,
+		L1Hits:          c.hier.L1D.Hits(),
+		L1Misses:        c.hier.L1D.Misses(),
+		LLCHits:         c.hier.LLC.Hits(),
+		LLCMisses:       c.hier.LLC.Misses(),
+		PerBranch:       c.perPC,
+		Halted:          halted,
+	}
+	if c.cycle > 0 {
+		res.IPC = float64(c.retired) / float64(c.cycle)
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		res.FinalRegs[r] = c.prf[c.commitRat[r]].val
+	}
+	return res
+}
+
+// dbgLog records a fetch/flush event in a small ring for panic dumps;
+// enabled when dbgRing is non-nil.
+func (c *Core) dbgLog(format string, args ...interface{}) {
+	if c.dbgRing == nil {
+		return
+	}
+	c.dbgRing = append(c.dbgRing, fmt.Sprintf("c%d: ", c.cycle)+fmt.Sprintf(format, args...))
+	if len(c.dbgRing) > 400 {
+		c.dbgRing = c.dbgRing[len(c.dbgRing)-400:]
+	}
+}
+
+// EnableDebugRing turns on the event ring (tests only).
+func (c *Core) EnableDebugRing() { c.dbgRing = make([]string, 0, 512) }
+
+// DebugRing returns the recorded events.
+func (c *Core) DebugRing() []string { return c.dbgRing }
+
+func (c *Core) schemeName() string {
+	if c.scheme == nil {
+		return "baseline"
+	}
+	return c.scheme.Name()
+}
+
+func (c *Core) branchStat(pc int) *BranchStat {
+	st, ok := c.perPC[pc]
+	if !ok {
+		st = &BranchStat{}
+		c.perPC[pc] = st
+	}
+	return st
+}

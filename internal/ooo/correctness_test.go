@@ -1,0 +1,154 @@
+package ooo_test
+
+import (
+	"testing"
+
+	"acb/internal/bpu"
+	"acb/internal/config"
+	"acb/internal/core"
+	"acb/internal/dmp"
+	"acb/internal/isa"
+	"acb/internal/ooo"
+	"acb/internal/workload"
+)
+
+// randomSpec builds a randomized workload spec from a seed: a mix of
+// hammock shapes, body sizes, predictabilities and features, so the
+// property test exercises the predication machinery broadly.
+func randomSpec(seed uint64) workload.Spec {
+	x := seed*0x9E3779B97F4A7C15 + 1
+	next := func(n uint64) uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x % n
+	}
+	spec := workload.Spec{
+		Seed:   seed,
+		Iters:  1 << 40, // bounded by the simulation budget
+		Period: 1024,
+		ALU:    int(next(5)),
+	}
+	if next(3) == 0 {
+		spec.ChaseDepth = 1
+		spec.ChaseSpan = 1 << 18
+	}
+	if next(3) == 0 {
+		spec.PredictableLoops = int(next(4)) + 1
+	}
+	n := int(next(3)) + 1
+	for i := 0; i < n; i++ {
+		h := workload.Hammock{
+			Shape:     workload.HammockShape(next(4)),
+			TLen:      int(next(12)) + 1,
+			NTLen:     int(next(12)) + 1,
+			TakenBias: 0.3 + float64(next(5))*0.1,
+			Noise:     float64(next(11)) * 0.1,
+		}
+		switch next(4) {
+		case 0:
+			h.StoreInBody = true
+		case 1:
+			h.FeedsLoad = true
+		case 2:
+			h.CorrelatedTail = true
+		}
+		if spec.ChaseDepth > 0 && next(4) == 0 {
+			h.SlowCond = true
+		}
+		spec.Hammocks = append(spec.Hammocks, h)
+	}
+	return spec
+}
+
+// TestSchemesAreValueCorrect is the central correctness property of the
+// whole model: for randomized programs, the final architectural registers
+// of the timing simulation — under plain speculation, ACB (stall +
+// register transparency), eager ACB, DMP (forked-RAT select-µops) and DHP
+// — must equal a pure functional run's at the same retired-instruction
+// count. This exercises wrong-path execution, flush recovery, dual-path
+// fetch, transparency moves, select merges, divergence flushes and LSQ
+// invalidation together.
+func TestSchemesAreValueCorrect(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 5, 8, 13, 21, 34}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	const budget = 60_000
+
+	for _, seed := range seeds {
+		spec := randomSpec(seed)
+		p, m := spec.Build()
+
+		schemes := map[string]func() ooo.Scheme{
+			"baseline":     func() ooo.Scheme { return nil },
+			"acb":          func() ooo.Scheme { return core.New(core.DefaultConfig()) },
+			"acb-nodynamo": func() ooo.Scheme { cfg := core.DefaultConfig(); cfg.UseDynamo = false; return core.New(cfg) },
+			"acb-eager":    func() ooo.Scheme { cfg := core.DefaultConfig(); cfg.Eager = true; return core.New(cfg) },
+			"dmp": func() ooo.Scheme {
+				return dmp.New(dmp.DefaultConfig(dmp.ModeDMP), dmp.Profile(p, m, profCfg()))
+			},
+			"dhp": func() ooo.Scheme {
+				return dmp.New(dmp.DefaultConfig(dmp.ModeDHP), dmp.Profile(p, m, profCfg()))
+			},
+		}
+
+		for name, mk := range schemes {
+			c := ooo.NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), mk(), m.Clone())
+			res, err := c.Run(budget)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+
+			// Replay functionally for exactly res.Retired instructions.
+			ref := isa.NewArchState(m.Clone())
+			ref.Run(p, res.Retired)
+
+			for r := 0; r < isa.NumRegs; r++ {
+				if res.FinalRegs[r] != ref.Regs[r] {
+					t.Errorf("seed %d %s: r%d = %d, want %d (retired %d)",
+						seed, name, r, res.FinalRegs[r], ref.Regs[r], res.Retired)
+				}
+			}
+			if t.Failed() {
+				t.FailNow()
+			}
+		}
+	}
+}
+
+func profCfg() dmp.ProfileConfig {
+	cfg := dmp.DefaultProfileConfig()
+	cfg.Steps = 100_000
+	return cfg
+}
+
+// TestCommittedMemoryMatches verifies committed store data: a workload
+// with stores runs under ACB and the final committed memory words equal
+// the functional run's.
+func TestCommittedMemoryMatches(t *testing.T) {
+	spec := workload.Spec{
+		Seed: 99, Iters: 1 << 40, Period: 512,
+		Hammocks: []workload.Hammock{
+			{Shape: workload.ShapeIfElse, TLen: 3, NTLen: 4, TakenBias: 0.5, Noise: 0.9, StoreInBody: true},
+			{Shape: workload.ShapeIfOnly, NTLen: 5, TakenBias: 0.5, Noise: 0.7, StoreInBody: true},
+		},
+	}
+	p, m := spec.Build()
+
+	c := ooo.NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()),
+		core.New(core.DefaultConfig()), m.Clone())
+	res, err := c.Run(80_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := isa.NewArchState(m.Clone())
+	ref.Run(p, res.Retired)
+
+	for r := 0; r < isa.NumRegs; r++ {
+		if res.FinalRegs[r] != ref.Regs[r] {
+			t.Errorf("r%d = %d, want %d", r, res.FinalRegs[r], ref.Regs[r])
+		}
+	}
+}

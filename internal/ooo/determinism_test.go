@@ -1,0 +1,45 @@
+package ooo_test
+
+import (
+	"testing"
+
+	"acb/internal/bpu"
+	"acb/internal/config"
+	"acb/internal/core"
+	"acb/internal/ooo"
+	"acb/internal/workload"
+)
+
+// TestSimulationDeterministic: two identical runs produce bit-identical
+// results — the whole stack (generator, predictor, caches, pipeline, ACB
+// tables, Dynamo) must be free of map-iteration or time dependence, which
+// is what makes the experiment harness reproducible.
+func TestSimulationDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	for _, name := range []string{"lammps", "omnetpp", "soplex"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func() ooo.Result {
+			p, m := w.Build()
+			c := ooo.NewWithMemory(config.Skylake(), p,
+				bpu.NewTAGE(bpu.DefaultTAGEConfig()), core.New(core.DefaultConfig()), m)
+			res, err := c.Run(150_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		a, b := run(), run()
+		if a.Cycles != b.Cycles || a.Retired != b.Retired ||
+			a.Flushes != b.Flushes || a.Mispredicts != b.Mispredicts ||
+			a.Predications != b.Predications || a.Allocations != b.Allocations ||
+			a.FinalRegs != b.FinalRegs {
+			t.Errorf("%s: runs differ: cycles %d/%d flushes %d/%d pred %d/%d",
+				name, a.Cycles, b.Cycles, a.Flushes, b.Flushes, a.Predications, b.Predications)
+		}
+	}
+}

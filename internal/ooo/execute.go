@@ -1,0 +1,249 @@
+package ooo
+
+import (
+	"fmt"
+	"sort"
+
+	"acb/internal/isa"
+)
+
+// completeStage finishes instructions whose latency expires this cycle:
+// writes results to the physical register file (waking dependents) and
+// resolves branches, triggering mispredict or divergence flushes.
+func (c *Core) completeStage() {
+	// Deferred divergence flushes: an eager-mode branch can resolve before
+	// the front end discovers the instance diverges.
+	for _, ctx := range c.liveCtxs {
+		if ctx.diverged && ctx.branchDone && !ctx.flushedDiv {
+			if be := c.rob.at(ctx.branchSeq); be != nil {
+				c.divergenceFlush(be)
+			}
+		}
+	}
+
+	seqs := c.completing[c.cycle]
+	if len(seqs) == 0 {
+		return
+	}
+	delete(c.completing, c.cycle)
+	// Oldest first, so the oldest mispredict flushes before younger ones.
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		e := c.rob.at(seq)
+		if e == nil || e.done || !e.issued {
+			continue // squashed or stale (reused seq)
+		}
+		e.done = true
+		if e.dest >= 0 {
+			c.prf[e.dest] = prfEntry{val: e.result, ready: true}
+		}
+		if e.role == RoleSelect {
+			continue
+		}
+		if e.inst.Op == isa.Br {
+			c.resolveBranch(e)
+		}
+	}
+}
+
+// resolveBranch handles a conditional branch's resolution.
+func (c *Core) resolveBranch(e *robEntry) {
+	switch e.role {
+	case RolePredBranch:
+		ctx := e.ctx
+		ctx.branchDone = true
+		ctx.branchTaken = e.resolvedTaken
+		c.invalidateFalseMemOps(ctx)
+		if ctx.diverged && !ctx.flushedDiv {
+			c.divergenceFlush(e)
+		}
+	case RoleBody:
+		// Internal branches inside a predicated region never redirect:
+		// the true-direction walk followed the architecturally-correct
+		// path and the false direction is transparent.
+	default:
+		if e.trueKnown && !e.wrongPath && e.resolvedTaken != e.trueTaken {
+			panic(fmt.Sprintf("ooo: correct-path branch pc=%d seq=%d computed %v but oracle said %v (cycle %d)",
+				e.pc, e.seq, e.resolvedTaken, e.trueTaken, c.cycle))
+		}
+		if e.resolvedTaken != e.predTaken && !e.flushed {
+			e.flushed = true
+			e.mispredict = true
+			e.robFrac = float64(e.seq-c.rob.headSeq) / float64(c.rob.size())
+			target := e.pc + 1
+			if e.resolvedTaken {
+				target = e.inst.Target
+			}
+			c.flushAfter(e, target)
+			// Repair speculative global history: rewind to this branch's
+			// fetch-time history and insert the actual outcome.
+			c.pred.SetHistory(e.pred.Hist)
+			c.pred.PushHistory(uint64(e.pc), e.resolvedTaken)
+			if e.wrongTok != nil && e.wrongTok == c.wrongTok {
+				c.dbgLog("mispredict flush clears wrongTok (pc=%d seq=%d)", e.pc, e.seq)
+				c.onWrongPath = false
+				c.wrongTok = nil
+				if !c.oracleHalted && c.oracle.PC != c.fetchPC {
+					panic(fmt.Sprintf("ooo: oracle desync after flush: oracle=%d fetch=%d", c.oracle.PC, c.fetchPC))
+				}
+			}
+		}
+	}
+}
+
+// invalidateFalseMemOps marks the loads and stores on the
+// predicated-false path invalid in the LSQ so they are excluded from
+// address matching and never dispatch to memory (Sec. III-C3).
+func (c *Core) invalidateFalseMemOps(ctx *ctxState) {
+	mark := func(seqs []int64) {
+		for _, seq := range seqs {
+			se := c.rob.at(seq)
+			if se == nil || se.ctx != ctx || se.role != RoleBody {
+				continue
+			}
+			if se.pathTaken != ctx.branchTaken && !se.invalidated {
+				se.invalidated = true
+				c.s.invalidatedMem++
+			}
+		}
+	}
+	mark(c.loads)
+	mark(c.stores)
+}
+
+// divergenceFlush forces a pipeline flush at a predicated branch whose
+// instance failed to reconverge: everything younger is squashed and fetch
+// redirects to the branch's resolved target.
+func (c *Core) divergenceFlush(e *robEntry) {
+	ctx := e.ctx
+	ctx.flushedDiv = true
+	ctx.reconHint = -1
+	// Multiple-reconvergence feedback: the first correct-path PC beyond
+	// the learned reconvergence point is where this instance actually
+	// re-joined (program order), available from the oracle scan.
+	for _, pc := range ctx.truePath {
+		if pc > ctx.spec.ReconPC {
+			ctx.reconHint = pc
+			break
+		}
+	}
+	c.s.divFlushes++
+	target := e.pc + 1
+	if e.resolvedTaken {
+		target = e.inst.Target
+	}
+	c.flushAfter(e, target)
+
+	// History: predicated instances are absent from history (ACB); the
+	// DMP-PBH oracle inserts the true outcome.
+	c.pred.SetHistory(e.histAtFetch)
+	if ctx.spec.PushTrueHistory {
+		c.pred.PushHistory(uint64(e.pc), e.resolvedTaken)
+	}
+
+	// Oracle rewind for correct-path contexts: restore the snapshot taken
+	// at context open and step just the branch.
+	if ctx.trueKnown {
+		idx := -1
+		for i, sn := range c.snapshots {
+			if sn.ctx == ctx {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			panic("ooo: missing oracle snapshot for divergent context")
+		}
+		sn := c.snapshots[idx]
+		c.snapshots = c.snapshots[:idx]
+		c.oracle.Regs = sn.regs
+		c.oracle.PC = sn.pc
+		c.oracleMem.RestoreWrites(sn.mem)
+		c.oracle.Step(c.prog) // the branch itself
+		c.oracleHalted = false
+		if c.oracle.PC != target {
+			panic(fmt.Sprintf("ooo: divergence redirect mismatch: oracle=%d target=%d", c.oracle.PC, target))
+		}
+	}
+	if c.wrongTok == ctx.tok {
+		c.dbgLog("divflush clears wrongTok (ctx%d)", ctx.id)
+		c.onWrongPath = false
+		c.wrongTok = nil
+	}
+}
+
+// flushAfter squashes everything younger than e, restores the RAT from
+// e's checkpoint, clears the front end and redirects fetch.
+func (c *Core) flushAfter(e *robEntry, redirectPC int) {
+	c.dbgLog("flush at seq=%d pc=%d role=%d redirect=%d oracle=%d wrong=%v", e.seq, e.pc, e.role, redirectPC, c.oracle.PC, c.onWrongPath)
+	c.s.flushes++
+	if !e.hasCkpt {
+		panic("ooo: flush at instruction without RAT checkpoint")
+	}
+	c.rob.squashAfter(e.seq, func(se *robEntry) {
+		if se.dest >= 0 {
+			c.freeList = append(c.freeList, se.dest)
+		}
+	})
+	c.rat = e.ratCkpt
+
+	c.iq = filterSeqs(c.iq, e.seq)
+	c.loads = filterSeqs(c.loads, e.seq)
+	c.stores = filterSeqs(c.stores, e.seq)
+	// Squashed sequence numbers are reused after the flush, so stale
+	// completion events must not fire against their new owners.
+	for cyc, seqs := range c.completing {
+		filtered := filterSeqs(seqs, e.seq)
+		if len(filtered) == 0 {
+			delete(c.completing, cyc)
+		} else {
+			c.completing[cyc] = filtered
+		}
+	}
+
+	// Front-end reset.
+	c.fetchQ = c.fetchQ[:0]
+	c.pendingSelects = c.pendingSelects[:0]
+	c.ctx = nil
+	c.ctxPhase = 0
+	c.pendingClose = nil
+	c.pendingSwtch = false
+	c.fetchParked = false
+	c.fetchPC = redirectPC
+	if redirectPC < 0 || redirectPC >= len(c.prog) {
+		c.fetchParked = true
+	}
+
+	// Prune contexts and oracle snapshots younger than the flush point.
+	live := c.liveCtxs[:0]
+	for _, ctx := range c.liveCtxs {
+		if ctx != e.ctx && (ctx.branchSeq < 0 || ctx.branchSeq > e.seq) {
+			continue // squashed
+		}
+		live = append(live, ctx)
+	}
+	c.liveCtxs = live
+	snaps := c.snapshots[:0]
+	for _, sn := range c.snapshots {
+		if sn.ctx != e.ctx && (sn.ctx.branchSeq < 0 || sn.ctx.branchSeq > e.seq) {
+			continue
+		}
+		snaps = append(snaps, sn)
+	}
+	c.snapshots = snaps
+
+	if c.scheme != nil {
+		c.scheme.OnFlush()
+	}
+}
+
+// filterSeqs keeps seqs ≤ limit, preserving order.
+func filterSeqs(seqs []int64, limit int64) []int64 {
+	out := seqs[:0]
+	for _, s := range seqs {
+		if s <= limit {
+			out = append(out, s)
+		}
+	}
+	return out
+}

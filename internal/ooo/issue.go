@@ -1,0 +1,228 @@
+package ooo
+
+import "acb/internal/isa"
+
+// issueStage selects ready instructions from the issue queue, reads their
+// operands, computes results (value-correct execution) and schedules their
+// completion. It enforces the predication disciplines:
+//
+//   - An ACB-predicated branch stalls until fetch has delivered the
+//     reconvergence (or divergence) identifier (Sec. III-C2).
+//   - ACB body instructions add the predicated branch as a source; once it
+//     resolves, predicated-false producers execute as moves from the last
+//     physical register of their logical destination (register
+//     transparency), and predicated-false memory ops are invalidated.
+//   - Eager (DMP) bodies execute freely; select micro-ops wait for the
+//     branch plus the chosen source.
+//   - Loads wait until all older stores have computed addresses, and stall
+//     behind address-matching stores of unresolved predicated regions.
+func (c *Core) issueStage() {
+	issued := 0
+	loadsIssued, storesIssued := 0, 0
+	maxLoads := c.cfg.IssueWidth / 4
+	if maxLoads < 2 {
+		maxLoads = 2
+	}
+	maxStores := c.cfg.IssueWidth / 8
+	if maxStores < 1 {
+		maxStores = 1
+	}
+
+	keep := c.iq[:0]
+	for _, seq := range c.iq {
+		e := c.rob.at(seq)
+		if e == nil {
+			continue // squashed
+		}
+		if issued >= c.cfg.IssueWidth ||
+			(e.isLoad && loadsIssued >= maxLoads) ||
+			(e.isStore && storesIssued >= maxStores) {
+			keep = append(keep, seq)
+			continue
+		}
+		lat, ok := c.tryIssue(e)
+		if !ok {
+			keep = append(keep, seq)
+			continue
+		}
+		e.issued = true
+		e.inIQ = false
+		e.doneCycle = c.cycle + int64(lat)
+		c.completing[e.doneCycle] = append(c.completing[e.doneCycle], seq)
+		issued++
+		if c.pipe != nil {
+			c.pipe.issueSlots++
+		}
+		if e.isLoad {
+			loadsIssued++
+		}
+		if e.isStore {
+			storesIssued++
+		}
+	}
+	c.iq = keep
+}
+
+// tryIssue checks readiness and, if ready, performs the instruction's
+// value computation, returning its completion latency.
+func (c *Core) tryIssue(e *robEntry) (lat int, ok bool) {
+	switch e.role {
+	case RoleSelect:
+		return c.tryIssueSelect(e)
+	case RolePredBranch:
+		if !e.ctx.spec.Eager && !e.ctx.closed {
+			return 0, false // stalled awaiting reconvergence/divergence id
+		}
+		return c.tryIssueNormal(e)
+	case RoleBody:
+		if !e.ctx.spec.Eager {
+			return c.tryIssueStallBody(e)
+		}
+		return c.tryIssueNormal(e)
+	default:
+		return c.tryIssueNormal(e)
+	}
+}
+
+func (c *Core) srcsReady(e *robEntry) bool {
+	for i := 0; i < e.nsrc; i++ {
+		if !c.prf[e.src[i]].ready {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Core) srcVals(e *robEntry) (a, b int64) {
+	if e.nsrc > 0 {
+		a = c.prf[e.src[0]].val
+	}
+	if e.nsrc > 1 {
+		b = c.prf[e.src[1]].val
+	}
+	return a, b
+}
+
+// tryIssueNormal handles ordinary ALU/branch/memory execution.
+func (c *Core) tryIssueNormal(e *robEntry) (int, bool) {
+	if !c.srcsReady(e) {
+		return 0, false
+	}
+	switch e.inst.Op {
+	case isa.Load:
+		return c.tryIssueLoad(e)
+	case isa.Store:
+		a, b := c.srcVals(e)
+		e.effAddr = a + e.inst.Imm
+		e.storeVal = b
+		e.addrReady = true
+		return 1, true
+	case isa.Br:
+		a, b := c.srcVals(e)
+		e.resolvedTaken = e.inst.Cond.Eval(a, b)
+		return 1, true
+	default:
+		a, b := c.srcVals(e)
+		e.result = e.inst.ALUResult(a, b)
+		e.hasResult = true
+		return e.inst.ExecLatency(), true
+	}
+}
+
+// tryIssueStallBody handles ACB body instructions: they wait for the
+// predicated branch, then execute normally (true path) or as transparency
+// moves (false path).
+func (c *Core) tryIssueStallBody(e *robEntry) (int, bool) {
+	ctx := e.ctx
+	if !ctx.branchDone {
+		ctx.bodyStalls++
+		return 0, false
+	}
+	onFalse := e.pathTaken != ctx.branchTaken
+	if !onFalse {
+		return c.tryIssueNormal(e)
+	}
+	// Predicated-false path: producers copy the last correctly produced
+	// value of their logical destination; everything else releases.
+	if e.dest >= 0 {
+		if !c.prf[e.prevPhys].ready {
+			return 0, false
+		}
+		e.result = c.prf[e.prevPhys].val
+		e.hasResult = true
+	}
+	if (e.isLoad || e.isStore) && !e.invalidated {
+		// Normally already marked by invalidateFalseMemOps at resolution.
+		e.invalidated = true
+		c.s.invalidatedMem++
+	}
+	c.s.transparentOps++
+	return 1, true
+}
+
+// tryIssueSelect handles injected select micro-ops: once the context
+// branch resolves, forward the chosen path's value.
+func (c *Core) tryIssueSelect(e *robEntry) (int, bool) {
+	ctx := e.ctx
+	if !ctx.branchDone {
+		return 0, false
+	}
+	chosen := e.selN
+	if ctx.branchTaken {
+		chosen = e.selT
+	}
+	if !c.prf[chosen].ready {
+		return 0, false
+	}
+	e.result = c.prf[chosen].val
+	e.hasResult = true
+	return 1, true
+}
+
+// tryIssueLoad applies memory disambiguation: wait for all older store
+// addresses, stall behind matching stores of unresolved predicated
+// regions, forward from the youngest older matching store, otherwise
+// access the cache hierarchy.
+func (c *Core) tryIssueLoad(e *robEntry) (int, bool) {
+	a, _ := c.srcVals(e)
+	addr := a + e.inst.Imm
+	var match *robEntry
+	for _, sseq := range c.stores {
+		if sseq >= e.seq {
+			break
+		}
+		se := c.rob.at(sseq)
+		if se == nil || se.invalidated {
+			continue
+		}
+		if !se.addrReady {
+			// An ACB body store that is still gated on its branch also
+			// lands here: its address is unknown, so the load waits
+			// (the paper's "memory disambiguation logic stalls").
+			return 0, false
+		}
+		if sameWord(se.effAddr, addr) {
+			if se.ctx != nil && se.role == RoleBody && !se.ctx.branchDone {
+				// Eager-mode store on an unresolved predicated path.
+				return 0, false
+			}
+			match = se
+		}
+	}
+	e.effAddr = addr
+	e.addrReady = true
+	if match != nil {
+		if !match.issued {
+			return 0, false
+		}
+		e.result = match.storeVal
+		e.hasResult = true
+		c.s.loadForwards++
+		return c.hier.L1D.Latency(), true
+	}
+	e.result = c.commitMem.Load(addr)
+	e.hasResult = true
+	return c.hier.LoadLatency(addr), true
+}
+
+func sameWord(a, b int64) bool { return a&^7 == b&^7 }

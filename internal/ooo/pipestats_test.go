@@ -1,0 +1,66 @@
+package ooo
+
+import (
+	"strings"
+	"testing"
+
+	"acb/internal/bpu"
+	"acb/internal/config"
+)
+
+// TestPipeStats: utilization collection is consistent with the run's
+// aggregate counters and bounded by machine widths.
+func TestPipeStats(t *testing.T) {
+	p, m := hammockWithStores(2000)
+	c := NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), nil, m)
+	c.EnablePipeStats()
+	res, err := c.Run(1_000_000)
+	if err != nil || !res.Halted {
+		t.Fatalf("run: %v halted=%v", err, res.Halted)
+	}
+	ps := c.PipeStats()
+	if ps == nil {
+		t.Fatal("stats not collected")
+	}
+	fe, rn, is, rt := ps.Utilization()
+	if rn <= 0 || is <= 0 || rt <= 0 || fe <= 0 {
+		t.Fatalf("zero utilization: %f %f %f %f", fe, rn, is, rt)
+	}
+	if rn > float64(c.cfg.AllocWidth) || rt > float64(c.cfg.RetireWidth) {
+		t.Fatalf("utilization exceeds machine width: rename %f retire %f", rn, rt)
+	}
+	if ps.renameSlots != res.Allocations {
+		t.Fatalf("rename slots %d != allocations %d", ps.renameSlots, res.Allocations)
+	}
+	robHigh, iqHigh := ps.OccupancyShare()
+	if robHigh < 0 || robHigh > 1 || iqHigh < 0 || iqHigh > 1 {
+		t.Fatal("occupancy shares out of range")
+	}
+	out := ps.String()
+	if !strings.Contains(out, "pipeline utilization") || !strings.Contains(out, "ROB") {
+		t.Fatalf("report: %s", out)
+	}
+}
+
+func TestPipeStatsDisabledByDefault(t *testing.T) {
+	p, m := hammockWithStores(100)
+	c := NewWithMemory(config.Skylake(), p, bpu.NewBimodal(8), nil, m)
+	if _, err := c.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.PipeStats() != nil {
+		t.Fatal("stats collected without enabling")
+	}
+}
+
+func TestBucket(t *testing.T) {
+	if bucket(0, 8) != 0 || bucket(8, 8) != 8 || bucket(4, 8) != 4 {
+		t.Fatal("bucket math")
+	}
+	if bucket(100, 8) != 8 {
+		t.Fatal("bucket clamp")
+	}
+	if bucket(1, 0) != 0 {
+		t.Fatal("zero capacity")
+	}
+}

@@ -1,0 +1,284 @@
+package ooo_test
+
+import (
+	"testing"
+
+	"acb/internal/bpu"
+	"acb/internal/config"
+	"acb/internal/core"
+	"acb/internal/isa"
+	"acb/internal/ooo"
+	"acb/internal/prog"
+	"acb/internal/workload"
+)
+
+// fixedScheme predicates exactly one branch PC with a fixed spec — it
+// isolates the OOO-side predication machinery from ACB's learning.
+type fixedScheme struct {
+	pc   int
+	spec ooo.PredSpec
+}
+
+func (f *fixedScheme) Name() string { return "fixed" }
+func (f *fixedScheme) ShouldPredicate(pc int, _ bool, _ int, _ uint64) (ooo.PredSpec, bool) {
+	if pc == f.pc {
+		return f.spec, true
+	}
+	return ooo.PredSpec{}, false
+}
+func (f *fixedScheme) OnFetch(ooo.FetchEvent)           {}
+func (f *fixedScheme) OnFlush()                         {}
+func (f *fixedScheme) OnBranchResolve(ooo.ResolveEvent) {}
+func (f *fixedScheme) OnRetireTick(int64)               {}
+
+// runFixed simulates prog with the fixed predication spec and checks the
+// final registers against a functional run.
+func runFixed(t *testing.T, p []isa.Instruction, m *isa.Memory, sch ooo.Scheme, budget int64) ooo.Result {
+	t.Helper()
+	c := ooo.NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), sch, m.Clone())
+	res, err := c.Run(budget)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	ref := isa.NewArchState(m.Clone())
+	ref.Run(p, res.Retired)
+	for r := 0; r < isa.NumRegs; r++ {
+		if res.FinalRegs[r] != ref.Regs[r] {
+			t.Fatalf("r%d = %d, want %d (retired %d)", r, res.FinalRegs[r], ref.Regs[r], res.Retired)
+		}
+	}
+	return res
+}
+
+// hammockProgram returns a loop with one IF-ELSE hammock on a
+// pseudo-random condition; branchPC and reconPC identify the hammock.
+func hammockProgram(iters int64) (p []isa.Instruction, m *isa.Memory, branchPC, reconPC int) {
+	b := prog.NewBuilder()
+	b.MovI(isa.R1, iters)
+	b.MovI(isa.R2, 0x1000)
+	b.MovI(isa.R3, 0)
+	b.Label("loop")
+	b.AndI(isa.R4, isa.R3, 1023)
+	b.MulI(isa.R4, isa.R4, 8)
+	b.Add(isa.R5, isa.R2, isa.R4)
+	b.Load(isa.R6, isa.R5, 0)
+	b.AndI(isa.R6, isa.R6, 1)
+	branchPC = b.PC()
+	b.Brz(isa.R6, "else")
+	b.AddI(isa.R7, isa.R7, 3)
+	b.Jmp("end")
+	b.Label("else")
+	b.AddI(isa.R7, isa.R7, 7)
+	b.Label("end")
+	reconPC = b.PC()
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Sub(isa.R8, isa.R3, isa.R1)
+	b.Brnz(isa.R8, "loop")
+	b.Halt()
+	p = b.MustBuild()
+	m = isa.NewMemory()
+	x := uint64(0xFEED)
+	for i := int64(0); i < 1024; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		m.Store(0x1000+i*8, int64(x&0xFF))
+	}
+	return p, m, branchPC, reconPC
+}
+
+// TestStallPredicationRemovesFlushes: predicating every instance of the
+// H2P branch removes its mispredict flushes while staying correct.
+func TestStallPredicationRemovesFlushes(t *testing.T) {
+	p, m, branchPC, reconPC := hammockProgram(5000)
+
+	base := runFixed(t, p, m, nil, 1_000_000)
+	sch := &fixedScheme{pc: branchPC, spec: ooo.PredSpec{ReconPC: reconPC, MaxBody: 56}}
+	pred := runFixed(t, p, m, sch, 1_000_000)
+
+	if pred.Predications < 4500 {
+		t.Fatalf("predications = %d, want ~5000", pred.Predications)
+	}
+	if pred.Flushes*4 > base.Flushes {
+		t.Fatalf("flushes %d not well below baseline %d", pred.Flushes, base.Flushes)
+	}
+	if pred.TransparentOps == 0 {
+		t.Fatal("no transparency moves recorded")
+	}
+	if pred.DivFlushes != 0 {
+		t.Fatalf("unexpected divergences: %d", pred.DivFlushes)
+	}
+}
+
+// TestEagerPredicationInjectsSelects: the eager (DMP-style) discipline
+// injects select micro-ops at reconvergence and stays correct.
+func TestEagerPredicationInjectsSelects(t *testing.T) {
+	p, m, branchPC, reconPC := hammockProgram(5000)
+	sch := &fixedScheme{pc: branchPC, spec: ooo.PredSpec{ReconPC: reconPC, MaxBody: 56, Eager: true}}
+	res := runFixed(t, p, m, sch, 1_000_000)
+	if res.SelectUops == 0 {
+		t.Fatal("no select micro-ops injected")
+	}
+	if res.SelectUops < res.Predications {
+		t.Fatalf("selects %d < predications %d (r7 is written on both paths)",
+			res.SelectUops, res.Predications)
+	}
+}
+
+// TestWrongReconvergenceDiverges: a spec pointing at an unreachable
+// reconvergence PC forces divergence flushes and still recovers
+// architecturally.
+func TestWrongReconvergenceDiverges(t *testing.T) {
+	p, m, branchPC, _ := hammockProgram(2000)
+	sch := &fixedScheme{pc: branchPC, spec: ooo.PredSpec{ReconPC: len(p) - 1, MaxBody: 24}}
+	res := runFixed(t, p, m, sch, 1_000_000)
+	if res.DivFlushes == 0 {
+		t.Fatal("expected divergence flushes for bogus reconvergence")
+	}
+}
+
+// TestType3Predication: a Type-3 shape (taken path beyond the
+// fall-through region, jumping back) predicated taken-path-first.
+func TestType3Predication(t *testing.T) {
+	b := prog.NewBuilder()
+	b.MovI(isa.R1, 4000)
+	b.MovI(isa.R3, 0)
+	b.Label("loop")
+	b.AndI(isa.R6, isa.R3, 7)
+	b.XorI(isa.R6, isa.R6, 3)
+	b.AndI(isa.R6, isa.R6, 1)
+	branchPC := b.PC()
+	b.Brnz(isa.R6, "tpath")
+	b.AddI(isa.R7, isa.R7, 7)
+	reconPC := b.PC()
+	b.Label("recon")
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Sub(isa.R8, isa.R3, isa.R1)
+	b.Brnz(isa.R8, "loop")
+	b.Halt()
+	b.Label("tpath")
+	b.AddI(isa.R7, isa.R7, 3)
+	b.Jmp("recon")
+	p := b.MustBuild()
+
+	sch := &fixedScheme{pc: branchPC, spec: ooo.PredSpec{ReconPC: reconPC, FirstTaken: true, MaxBody: 32}}
+	res := runFixed(t, p, isa.NewMemory(), sch, 200_000)
+	if res.Predications == 0 {
+		t.Fatal("never predicated")
+	}
+	if res.DivFlushes != 0 {
+		t.Fatalf("divergences on a well-formed Type-3: %d", res.DivFlushes)
+	}
+}
+
+// TestDMPPBHPushesHistory: with PushTrueHistory the predicated branch's
+// outcome stays in global history, so a perfectly correlated later branch
+// keeps predicting well (the Fig. 9 oracle); without it the correlation
+// is destroyed.
+func TestDMPPBHPushesHistory(t *testing.T) {
+	// Hammock + correlated tail branch reading the same condition bit.
+	b := prog.NewBuilder()
+	b.MovI(isa.R1, 20000)
+	b.MovI(isa.R2, 0x1000)
+	b.MovI(isa.R3, 0)
+	b.Label("loop")
+	b.AndI(isa.R4, isa.R3, 2047)
+	b.MulI(isa.R4, isa.R4, 8)
+	b.Add(isa.R5, isa.R2, isa.R4)
+	b.Load(isa.R6, isa.R5, 0)
+	b.AndI(isa.R6, isa.R6, 1)
+	branchPC := b.PC()
+	b.Brz(isa.R6, "else")
+	b.AddI(isa.R7, isa.R7, 3)
+	b.Jmp("end")
+	b.Label("else")
+	b.AddI(isa.R7, isa.R7, 7)
+	b.Label("end")
+	reconPC := b.PC()
+	b.Nop()
+	tailPC := b.PC()
+	b.Brz(isa.R6, "tail_skip") // perfectly correlated with the hammock
+	b.AddI(isa.R9, isa.R9, 1)
+	b.Label("tail_skip")
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Sub(isa.R8, isa.R3, isa.R1)
+	b.Brnz(isa.R8, "loop")
+	b.Halt()
+	p := b.MustBuild()
+	m := isa.NewMemory()
+	x := uint64(0xACE1)
+	for i := int64(0); i < 2048; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		m.Store(0x1000+i*8, int64(x&0xFF))
+	}
+
+	tailMispredicts := func(push bool) int64 {
+		sch := &fixedScheme{pc: branchPC, spec: ooo.PredSpec{
+			ReconPC: reconPC, MaxBody: 56, Eager: true, PushTrueHistory: push,
+		}}
+		res := runFixed(t, p, m, sch, 2_000_000)
+		st := res.PerBranch[tailPC]
+		if st == nil {
+			t.Fatal("tail branch never retired")
+		}
+		return st.Mispredict
+	}
+
+	without := tailMispredicts(false)
+	with := tailMispredicts(true)
+	if with*2 > without {
+		t.Fatalf("PBH tail mispredicts %d not well below plain predication's %d", with, without)
+	}
+}
+
+// TestScaledConfigsRun: the 2x/3x/future cores execute a real workload
+// correctly (resource scaling does not break the pipeline invariants).
+func TestScaledConfigsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	w, err := workload.ByName("gobmk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []config.Core{config.Scaled(2), config.Scaled(3), config.Future()} {
+		p, m := w.Build()
+		c := ooo.NewWithMemory(cfg, p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), core.New(core.DefaultConfig()), m.Clone())
+		res, err := c.Run(150_000)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		ref := isa.NewArchState(m.Clone())
+		ref.Run(p, res.Retired)
+		for r := 0; r < isa.NumRegs; r++ {
+			if res.FinalRegs[r] != ref.Regs[r] {
+				t.Fatalf("%s: r%d = %d, want %d", cfg.Name, r, res.FinalRegs[r], ref.Regs[r])
+			}
+		}
+	}
+}
+
+// TestWiderCoreIsFaster: a compute-bound workload gains IPC from a wider,
+// deeper core.
+func TestWiderCoreIsFaster(t *testing.T) {
+	w, err := workload.ByName("hmmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipc := func(cfg config.Core) float64 {
+		p, m := w.Build()
+		c := ooo.NewWithMemory(cfg, p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), nil, m)
+		res, err := c.Run(150_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IPC
+	}
+	one := ipc(config.Scaled(1))
+	three := ipc(config.Scaled(3))
+	if three <= one*1.1 {
+		t.Fatalf("3x core IPC %.3f not meaningfully above 1x %.3f", three, one)
+	}
+}

@@ -1,0 +1,239 @@
+package ooo
+
+import (
+	"fmt"
+
+	"acb/internal/isa"
+)
+
+// renameStage renames and allocates up to AllocWidth instructions from the
+// fetch queue into the ROB/IQ/LSQ, injecting select micro-ops at eager
+// (DMP-style) reconvergence points.
+func (c *Core) renameStage() {
+	budget := c.cfg.AllocWidth
+	for budget > 0 {
+		if len(c.pendingSelects) > 0 {
+			if !c.allocSelect(&c.pendingSelects[0]) {
+				c.s.allocStallSlots += int64(budget)
+				return
+			}
+			c.pendingSelects = c.pendingSelects[1:]
+			budget--
+			continue
+		}
+		if len(c.fetchQ) == 0 {
+			return
+		}
+		fi := &c.fetchQ[0]
+		if fi.readyCycle > c.cycle {
+			return
+		}
+		// Build select micro-ops at an eager context's reconvergence point
+		// before the first post-region instruction renames.
+		if cl := fi.ctxClose; cl != nil && cl.spec.Eager && !cl.selectsBuilt && !cl.diverged {
+			cl.selectsBuilt = true
+			c.buildSelects(cl)
+			continue
+		}
+		if !c.resourcesAvailable(fi) {
+			c.s.allocStallSlots += int64(budget)
+			return
+		}
+		c.renameOne(fi)
+		c.fetchQ = c.fetchQ[1:]
+		budget--
+	}
+}
+
+// resourcesAvailable reports whether one more instruction fits in the
+// backend structures.
+func (c *Core) resourcesAvailable(fi *fetchedInst) bool {
+	if c.rob.full() {
+		return false
+	}
+	op := fi.inst.Op
+	needsIQ := op != isa.Nop && op != isa.Halt && op != isa.Jmp
+	if needsIQ && len(c.iq) >= c.cfg.IQSize {
+		return false
+	}
+	if op == isa.Load && len(c.loads) >= c.cfg.LQSize {
+		return false
+	}
+	if op == isa.Store && len(c.stores) >= c.cfg.SQSize {
+		return false
+	}
+	if fi.inst.HasDest() && len(c.freeList) == 0 {
+		return false
+	}
+	return true
+}
+
+// renameOne renames one fetched instruction into the backend.
+func (c *Core) renameOne(fi *fetchedInst) {
+	// Eager fork: the second fetched path renames against the RAT as it
+	// was at the predicated branch (DMP's forked RAT).
+	if fi.ctxSwitch && fi.ctx != nil && fi.ctx.spec.Eager {
+		fi.ctx.rat1 = c.rat
+		fi.ctx.haveRAT1 = true
+		c.rat = fi.ctx.rat0
+	}
+
+	e := c.rob.alloc()
+	e.pc = fi.pc
+	e.inst = fi.inst
+	e.role = fi.role
+	e.ctx = fi.ctx
+	e.pathTaken = fi.pathTaken
+	e.wrongPath = fi.wrongPath
+	e.pred = fi.pred
+	e.hasPred = fi.hasPred
+	e.predTaken = fi.predTaken
+	e.trueKnown = fi.trueKnown
+	e.trueTaken = fi.trueTaken
+	e.histAtFetch = fi.histAtFetch
+	e.wrongTok = fi.wrongTok
+
+	c.s.allocations++
+	if c.pipe != nil {
+		c.pipe.renameSlots++
+	}
+	if fi.wrongPath {
+		c.s.wrongPathAllocs++
+	}
+
+	if fi.inst.IsControl() {
+		e.ratCkpt = c.rat
+		e.hasCkpt = true
+	}
+	if fi.role == RolePredBranch && fi.ctx != nil {
+		fi.ctx.branchSeq = e.seq
+		if fi.ctx.spec.Eager {
+			fi.ctx.rat0 = c.rat
+		}
+	}
+
+	srcs, n := fi.inst.Sources()
+	for i := 0; i < n; i++ {
+		e.src[i] = c.rat[srcs[i]]
+	}
+	e.nsrc = n
+
+	if fi.inst.HasDest() {
+		d := fi.inst.Rd
+		e.prevPhys = c.rat[d]
+		p := c.popFree()
+		e.dest = p
+		c.prf[p] = prfEntry{}
+		c.rat[d] = p
+		if e.role == RoleBody && e.ctx != nil && e.ctx.spec.Eager && e.prevPhys == e.ctx.rat0[d] {
+			e.skipPrevFree = true
+		}
+	}
+
+	switch fi.inst.Op {
+	case isa.Load:
+		e.isLoad = true
+		c.loads = append(c.loads, e.seq)
+	case isa.Store:
+		e.isStore = true
+		c.stores = append(c.stores, e.seq)
+	}
+
+	switch fi.inst.Op {
+	case isa.Nop, isa.Halt, isa.Jmp:
+		e.done = true
+	default:
+		c.iq = append(c.iq, e.seq)
+		e.inIQ = true
+	}
+}
+
+// buildSelects computes the select micro-ops an eager context needs: one
+// per logical register written on either fetched path, choosing between
+// the two paths' final physical registers once the branch resolves
+// (DMP's select-µop merge; these consume allocation bandwidth, which is
+// the cost the paper's Fig. 10 measures).
+func (c *Core) buildSelects(ctx *ctxState) {
+	var pA, pB [isa.NumRegs]int
+	if ctx.haveRAT1 {
+		pA = ctx.rat1 // end of first fetched path
+		pB = c.rat    // end of second fetched path
+	} else {
+		pA = c.rat // only path fetched
+		pB = ctx.rat0
+	}
+	var ratT, ratN [isa.NumRegs]int
+	if ctx.spec.FirstTaken {
+		ratT, ratN = pA, pB
+	} else {
+		ratT, ratN = pB, pA
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		if ratT[r] == ctx.rat0[r] && ratN[r] == ctx.rat0[r] {
+			continue
+		}
+		frees := dedupPhys(ratT[r], ratN[r], ctx.rat0[r])
+		c.pendingSelects = append(c.pendingSelects, selectSpec{
+			ctx:   ctx,
+			log:   isa.Reg(r),
+			selT:  ratT[r],
+			selN:  ratN[r],
+			frees: frees,
+		})
+	}
+}
+
+func dedupPhys(ps ...int) []int {
+	var out []int
+	for _, p := range ps {
+		dup := false
+		for _, q := range out {
+			if q == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// allocSelect allocates one pending select micro-op; it returns false when
+// backend resources are exhausted this cycle.
+func (c *Core) allocSelect(ss *selectSpec) bool {
+	if c.rob.full() || len(c.iq) >= c.cfg.IQSize || len(c.freeList) == 0 {
+		return false
+	}
+	e := c.rob.alloc()
+	e.pc = ss.ctx.branchPC
+	e.role = RoleSelect
+	e.ctx = ss.ctx
+	e.wrongPath = ss.ctx.wrongPath
+	e.selT = ss.selT
+	e.selN = ss.selN
+	e.selLog = ss.log
+	e.freeOnRetire = ss.frees
+	p := c.popFree()
+	e.dest = p
+	c.prf[p] = prfEntry{}
+	c.rat[ss.log] = p
+	c.iq = append(c.iq, e.seq)
+	e.inIQ = true
+	c.s.allocations++
+	c.s.selectUops++
+	if c.pipe != nil {
+		c.pipe.renameSlots++
+	}
+	return true
+}
+
+func (c *Core) popFree() int {
+	if len(c.freeList) == 0 {
+		panic(fmt.Sprintf("ooo: physical register file exhausted at cycle %d", c.cycle))
+	}
+	p := c.freeList[len(c.freeList)-1]
+	c.freeList = c.freeList[:len(c.freeList)-1]
+	return p
+}

@@ -1,0 +1,138 @@
+package ooo
+
+import (
+	"acb/internal/bpu"
+	"acb/internal/isa"
+)
+
+// robEntry is one in-flight instruction (or injected select micro-op).
+type robEntry struct {
+	valid bool
+	seq   int64
+	pc    int
+	inst  *isa.Instruction // nil for injected select micro-ops
+
+	role      Role
+	ctx       *ctxState
+	pathTaken bool // body: belongs to the taken-direction path
+	wrongPath bool
+
+	// Rename state.
+	dest     int // destination physical register, -1 if none
+	prevPhys int // previous mapping of the destination logical register
+	src      [2]int
+	nsrc     int
+	ratCkpt  [isa.NumRegs]int // RAT checkpoint (control instructions)
+	hasCkpt  bool
+
+	// Branch prediction state.
+	pred        bpu.Prediction
+	hasPred     bool
+	predTaken   bool // direction fetch followed
+	trueTaken   bool
+	trueKnown   bool
+	histAtFetch uint64
+
+	// Select micro-op state: the chosen source is selT when the context
+	// branch resolves taken, selN otherwise. freeOnRetire lists path-final
+	// physical registers that die at the select.
+	selT, selN   int
+	selLog       isa.Reg
+	freeOnRetire []int
+
+	// Execution state.
+	inIQ      bool
+	issued    bool
+	done      bool
+	doneCycle int64
+	result    int64
+	hasResult bool
+
+	// Memory state.
+	isLoad      bool
+	isStore     bool
+	addrReady   bool
+	effAddr     int64
+	storeVal    int64
+	invalidated bool // predicated-false-path memory op
+
+	// Branch resolution.
+	resolvedTaken bool
+	mispredict    bool
+	flushed       bool    // this entry already triggered its flush
+	robFrac       float64 // ROB-head distance fraction at mispredict detection
+
+	// wrongTok is non-nil when fetch knew this branch was mispredicted
+	// (the wrong path begins after it); its flush clears the wrong-path
+	// state.
+	wrongTok *flushToken
+
+	// skipPrevFree suppresses freeing prevPhys at retire (eager-mode path
+	// first-writers; the select micro-op frees the forked base register).
+	skipPrevFree bool
+}
+
+// rob is a ring buffer of in-flight instructions addressed by sequence
+// number (slot = seq mod size).
+type rob struct {
+	entries []robEntry
+	headSeq int64 // oldest live seq
+	nextSeq int64 // next seq to allocate
+}
+
+func newROB(size int) *rob {
+	return &rob{entries: make([]robEntry, size)}
+}
+
+func (r *rob) size() int      { return len(r.entries) }
+func (r *rob) occupancy() int { return int(r.nextSeq - r.headSeq) }
+func (r *rob) full() bool     { return r.occupancy() >= len(r.entries) }
+func (r *rob) empty() bool    { return r.nextSeq == r.headSeq }
+
+// alloc reserves the next entry and returns it, reset.
+func (r *rob) alloc() *robEntry {
+	e := &r.entries[r.nextSeq%int64(len(r.entries))]
+	*e = robEntry{valid: true, seq: r.nextSeq, dest: -1, prevPhys: -1}
+	r.nextSeq++
+	return e
+}
+
+// at returns the live entry with the given seq, or nil.
+func (r *rob) at(seq int64) *robEntry {
+	if seq < r.headSeq || seq >= r.nextSeq {
+		return nil
+	}
+	e := &r.entries[seq%int64(len(r.entries))]
+	if !e.valid || e.seq != seq {
+		return nil
+	}
+	return e
+}
+
+// head returns the oldest live entry, or nil when empty.
+func (r *rob) head() *robEntry {
+	if r.empty() {
+		return nil
+	}
+	return r.at(r.headSeq)
+}
+
+// pop retires the head entry.
+func (r *rob) pop() {
+	e := r.head()
+	e.valid = false
+	r.headSeq++
+}
+
+// squashAfter invalidates every entry younger than seq and rewinds the
+// allocation pointer. It calls fn for each squashed entry, youngest first.
+func (r *rob) squashAfter(seq int64, fn func(*robEntry)) {
+	for s := r.nextSeq - 1; s > seq; s-- {
+		e := &r.entries[s%int64(len(r.entries))]
+		if e.valid && e.seq == s {
+			fn(e)
+			e.valid = false
+		}
+	}
+	r.nextSeq = seq + 1
+}

@@ -1,0 +1,116 @@
+package ooo
+
+import (
+	"testing"
+
+	"acb/internal/bpu"
+	"acb/internal/config"
+	"acb/internal/isa"
+	"acb/internal/prog"
+)
+
+// buildLoopHammock builds a loop that, per iteration, loads a
+// pseudo-random word and runs a data-dependent IF/ELSE hammock over it,
+// accumulating into r7. Returns the program and an initialized memory
+// image.
+func buildLoopHammock(iters int64) ([]isa.Instruction, *isa.Memory) {
+	b := prog.NewBuilder()
+	// r1 = loop counter, r2 = array base, r3 = index, r7 = accumulator
+	b.MovI(isa.R1, iters)
+	b.MovI(isa.R2, 0x1000)
+	b.MovI(isa.R3, 0)
+	b.MovI(isa.R7, 0)
+	b.Label("loop")
+	b.AndI(isa.R4, isa.R3, 255) // idx mod 256
+	b.MulI(isa.R4, isa.R4, 8)   // byte offset
+	b.Add(isa.R5, isa.R2, isa.R4)
+	b.Load(isa.R6, isa.R5, 0) // data-dependent value
+	b.AndI(isa.R6, isa.R6, 1) // low bit decides
+	b.Brz(isa.R6, "else")
+	b.AddI(isa.R7, isa.R7, 3) // then-path
+	b.AddI(isa.R7, isa.R7, 1)
+	b.Jmp("end")
+	b.Label("else")
+	b.AddI(isa.R7, isa.R7, 7) // else-path
+	b.Label("end")
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Sub(isa.R8, isa.R3, isa.R1)
+	b.Brnz(isa.R8, "loop")
+	b.Halt()
+	p := b.MustBuild()
+
+	m := isa.NewMemory()
+	x := uint64(0x12345)
+	for i := int64(0); i < 256; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		m.Store(0x1000+i*8, int64(x&0xFFFF))
+	}
+	return p, m
+}
+
+func runFunctional(t *testing.T, p []isa.Instruction, m *isa.Memory, max int64) *isa.ArchState {
+	t.Helper()
+	st := isa.NewArchState(m.Clone())
+	if _, halted := st.Run(p, max); !halted {
+		t.Fatalf("functional run did not halt within %d steps", max)
+	}
+	return st
+}
+
+// TestBaselineMatchesFunctional checks that the timing model's final
+// architectural registers equal a pure functional run's, under a real
+// (imperfect) predictor — i.e. wrong-path execution and flush recovery are
+// value-correct.
+func TestBaselineMatchesFunctional(t *testing.T) {
+	p, m := buildLoopHammock(2000)
+	want := runFunctional(t, p, m, 1_000_000)
+
+	core := NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), nil, m.Clone())
+	res, err := core.Run(1_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Halted {
+		t.Fatalf("timing run did not halt (retired=%d)", res.Retired)
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		if res.FinalRegs[r] != want.Regs[r] {
+			t.Errorf("r%d = %d, want %d", r, res.FinalRegs[r], want.Regs[r])
+		}
+	}
+	if res.IPC <= 0 {
+		t.Fatalf("nonsensical IPC %f", res.IPC)
+	}
+	t.Logf("IPC=%.3f retired=%d cycles=%d mispredicts=%d flushes=%d",
+		res.IPC, res.Retired, res.Cycles, res.Mispredicts, res.Flushes)
+}
+
+// TestOraclePredictorNoFlushes checks perfect prediction yields zero
+// flushes and higher IPC than TAGE on an unpredictable branch.
+func TestOraclePredictorNoFlushes(t *testing.T) {
+	p, m := buildLoopHammock(2000)
+
+	oracleCore := NewWithMemory(config.Skylake(), p, bpu.NewOracle(), nil, m.Clone())
+	oracleRes, err := oracleCore.Run(1_000_000)
+	if err != nil {
+		t.Fatalf("oracle run: %v", err)
+	}
+	if oracleRes.Flushes != 0 {
+		t.Fatalf("oracle predictor produced %d flushes", oracleRes.Flushes)
+	}
+
+	tageCore := NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), nil, m.Clone())
+	tageRes, err := tageCore.Run(1_000_000)
+	if err != nil {
+		t.Fatalf("tage run: %v", err)
+	}
+	if tageRes.Mispredicts == 0 {
+		t.Fatalf("expected mispredicts on data-dependent branch")
+	}
+	if oracleRes.IPC <= tageRes.IPC {
+		t.Errorf("oracle IPC %.3f should exceed TAGE IPC %.3f", oracleRes.IPC, tageRes.IPC)
+	}
+	t.Logf("oracle IPC=%.3f  tage IPC=%.3f  tage mispredicts=%d", oracleRes.IPC, tageRes.IPC, tageRes.Mispredicts)
+}

@@ -1,0 +1,180 @@
+// Package prog provides a label-based assembler for building programs in
+// the simulated ISA, along with static control-flow analyses (used by the
+// DMP baseline, whose compiler pass the paper relies on, and by tests).
+package prog
+
+import (
+	"fmt"
+
+	"acb/internal/isa"
+)
+
+// Builder assembles a program from instructions and symbolic labels.
+// Branch and jump targets may reference labels that are defined later;
+// they are resolved by Build.
+type Builder struct {
+	insts  []isa.Instruction
+	labels map[string]int
+	fixups []fixup
+	err    error
+}
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int)}
+}
+
+// PC returns the index the next emitted instruction will occupy.
+func (b *Builder) PC() int { return len(b.insts) }
+
+// Label defines a label at the current PC. Defining the same label twice
+// records an error reported by Build.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.fail(fmt.Errorf("prog: duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.insts)
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+func (b *Builder) emit(in isa.Instruction) {
+	b.insts = append(b.insts, in)
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(isa.Instruction{Op: isa.Nop}) }
+
+// Halt emits a halt.
+func (b *Builder) Halt() { b.emit(isa.Instruction{Op: isa.Halt}) }
+
+// Op3 emits a three-register ALU operation rd = rs1 <op> rs2.
+func (b *Builder) Op3(op isa.Op, rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// OpI emits a register-immediate ALU operation rd = rs1 <op> imm.
+func (b *Builder) OpI(op isa.Op, rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Add emits rd = rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg) { b.Op3(isa.Add, rd, rs1, rs2) }
+
+// Sub emits rd = rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg) { b.Op3(isa.Sub, rd, rs1, rs2) }
+
+// And emits rd = rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 isa.Reg) { b.Op3(isa.And, rd, rs1, rs2) }
+
+// Or emits rd = rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg) { b.Op3(isa.Or, rd, rs1, rs2) }
+
+// Xor emits rd = rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg) { b.Op3(isa.Xor, rd, rs1, rs2) }
+
+// Mul emits rd = rs1 * rs2.
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg) { b.Op3(isa.Mul, rd, rs1, rs2) }
+
+// Div emits rd = rs1 / rs2 (0 when rs2 == 0).
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg) { b.Op3(isa.Div, rd, rs1, rs2) }
+
+// AddI emits rd = rs1 + imm.
+func (b *Builder) AddI(rd, rs1 isa.Reg, imm int64) { b.OpI(isa.AddI, rd, rs1, imm) }
+
+// AndI emits rd = rs1 & imm.
+func (b *Builder) AndI(rd, rs1 isa.Reg, imm int64) { b.OpI(isa.AndI, rd, rs1, imm) }
+
+// XorI emits rd = rs1 ^ imm.
+func (b *Builder) XorI(rd, rs1 isa.Reg, imm int64) { b.OpI(isa.XorI, rd, rs1, imm) }
+
+// ShrI emits rd = rs1 >> imm (logical).
+func (b *Builder) ShrI(rd, rs1 isa.Reg, imm int64) { b.OpI(isa.ShrI, rd, rs1, imm) }
+
+// MulI emits rd = rs1 * imm.
+func (b *Builder) MulI(rd, rs1 isa.Reg, imm int64) { b.OpI(isa.MulI, rd, rs1, imm) }
+
+// Mov emits rd = rs1.
+func (b *Builder) Mov(rd, rs1 isa.Reg) {
+	b.emit(isa.Instruction{Op: isa.Mov, Rd: rd, Rs1: rs1})
+}
+
+// MovI emits rd = imm.
+func (b *Builder) MovI(rd isa.Reg, imm int64) {
+	b.emit(isa.Instruction{Op: isa.MovI, Rd: rd, Imm: imm})
+}
+
+// Load emits rd = mem[rs1+imm].
+func (b *Builder) Load(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Instruction{Op: isa.Load, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Store emits mem[rs1+imm] = rs2.
+func (b *Builder) Store(rs1 isa.Reg, imm int64, rs2 isa.Reg) {
+	b.emit(isa.Instruction{Op: isa.Store, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// Br emits a conditional branch to the given label.
+func (b *Builder) Br(cond isa.Cond, rs1, rs2 isa.Reg, label string) {
+	b.fixups = append(b.fixups, fixup{pc: len(b.insts), label: label})
+	b.emit(isa.Instruction{Op: isa.Br, Cond: cond, Rs1: rs1, Rs2: rs2})
+}
+
+// Brz emits br.eqz rs1, label.
+func (b *Builder) Brz(rs1 isa.Reg, label string) { b.Br(isa.EQZ, rs1, 0, label) }
+
+// Brnz emits br.nez rs1, label.
+func (b *Builder) Brnz(rs1 isa.Reg, label string) { b.Br(isa.NEZ, rs1, 0, label) }
+
+// Jmp emits an unconditional jump to the given label.
+func (b *Builder) Jmp(label string) {
+	b.fixups = append(b.fixups, fixup{pc: len(b.insts), label: label})
+	b.emit(isa.Instruction{Op: isa.Jmp})
+}
+
+// Build resolves all label references and returns the finished program.
+func (b *Builder) Build() ([]isa.Instruction, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("prog: undefined label %q at pc %d", f.label, f.pc)
+		}
+		b.insts[f.pc].Target = target
+	}
+	out := make([]isa.Instruction, len(b.insts))
+	copy(out, b.insts)
+	return out, nil
+}
+
+// MustBuild is Build but panics on error; intended for static workload
+// definitions where a failure is a programming bug.
+func (b *Builder) MustBuild() []isa.Instruction {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Disassemble renders the program as newline-separated assembly with PC
+// prefixes.
+func Disassemble(p []isa.Instruction) string {
+	var out []byte
+	for pc := range p {
+		out = append(out, fmt.Sprintf("%4d: %s\n", pc, p[pc].String())...)
+	}
+	return string(out)
+}

@@ -1,0 +1,134 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"acb/internal/isa"
+)
+
+func TestBuilderForwardAndBackwardLabels(t *testing.T) {
+	b := NewBuilder()
+	b.Label("start")
+	b.MovI(isa.R1, 1)
+	b.Brz(isa.R1, "end") // forward reference
+	b.Jmp("start")       // backward reference
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[1].Target != 3 {
+		t.Errorf("forward target = %d, want 3", p[1].Target)
+	}
+	if p[2].Target != 0 {
+		t.Errorf("backward target = %d, want 0", p[2].Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected undefined-label error")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected duplicate-label error")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b := NewBuilder()
+	b.Jmp("missing")
+	b.MustBuild()
+}
+
+func TestBuilderEmitters(t *testing.T) {
+	b := NewBuilder()
+	b.Add(isa.R1, isa.R2, isa.R3)
+	b.Sub(isa.R1, isa.R2, isa.R3)
+	b.And(isa.R1, isa.R2, isa.R3)
+	b.Or(isa.R1, isa.R2, isa.R3)
+	b.Xor(isa.R1, isa.R2, isa.R3)
+	b.Mul(isa.R1, isa.R2, isa.R3)
+	b.Div(isa.R1, isa.R2, isa.R3)
+	b.AddI(isa.R1, isa.R2, 4)
+	b.AndI(isa.R1, isa.R2, 4)
+	b.XorI(isa.R1, isa.R2, 4)
+	b.ShrI(isa.R1, isa.R2, 4)
+	b.MulI(isa.R1, isa.R2, 4)
+	b.Mov(isa.R1, isa.R2)
+	b.MovI(isa.R1, 4)
+	b.Load(isa.R1, isa.R2, 8)
+	b.Store(isa.R2, 8, isa.R1)
+	b.Nop()
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []isa.Op{
+		isa.Add, isa.Sub, isa.And, isa.Or, isa.Xor, isa.Mul, isa.Div,
+		isa.AddI, isa.AndI, isa.XorI, isa.ShrI, isa.MulI,
+		isa.Mov, isa.MovI, isa.Load, isa.Store, isa.Nop, isa.Halt,
+	}
+	if len(p) != len(wantOps) {
+		t.Fatalf("len = %d, want %d", len(p), len(wantOps))
+	}
+	for i, op := range wantOps {
+		if p[i].Op != op {
+			t.Errorf("inst %d op = %v, want %v", i, p[i].Op, op)
+		}
+	}
+}
+
+func TestBuilderPC(t *testing.T) {
+	b := NewBuilder()
+	if b.PC() != 0 {
+		t.Fatal("fresh PC != 0")
+	}
+	b.Nop()
+	b.Nop()
+	if b.PC() != 2 {
+		t.Fatalf("PC = %d, want 2", b.PC())
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	b := NewBuilder()
+	b.MovI(isa.R1, 7)
+	b.Halt()
+	out := Disassemble(b.MustBuild())
+	if !strings.Contains(out, "0: movi r1, 7") || !strings.Contains(out, "1: halt") {
+		t.Fatalf("unexpected disassembly:\n%s", out)
+	}
+}
+
+// TestBuildIsolation: Build returns an independent copy.
+func TestBuildIsolation(t *testing.T) {
+	b := NewBuilder()
+	b.Nop()
+	p1 := b.MustBuild()
+	b.Halt()
+	p2 := b.MustBuild()
+	if len(p1) != 1 || len(p2) != 2 {
+		t.Fatalf("lens = %d,%d", len(p1), len(p2))
+	}
+	p1[0].Op = isa.Halt
+	if p2[0].Op != isa.Nop {
+		t.Fatal("programs share backing storage")
+	}
+}

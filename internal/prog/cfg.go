@@ -1,0 +1,335 @@
+package prog
+
+import (
+	"acb/internal/isa"
+)
+
+// CFG is a static control-flow graph over a program, one node per
+// instruction. It supports the postdominator-based reconvergence analysis
+// that the DMP baseline's compiler pass performs (Kim et al., MICRO'06 /
+// CGO'07), and which ACB replaces with pure-hardware learning.
+type CFG struct {
+	prog  []isa.Instruction
+	succs [][]int
+	preds [][]int
+}
+
+// NewCFG builds the control-flow graph of the program.
+func NewCFG(p []isa.Instruction) *CFG {
+	g := &CFG{
+		prog:  p,
+		succs: make([][]int, len(p)),
+		preds: make([][]int, len(p)),
+	}
+	for pc := range p {
+		in := &p[pc]
+		switch in.Op {
+		case isa.Halt:
+			// no successors
+		case isa.Jmp:
+			g.addEdge(pc, in.Target)
+		case isa.Br:
+			if pc+1 < len(p) {
+				g.addEdge(pc, pc+1)
+			}
+			g.addEdge(pc, in.Target)
+		default:
+			if pc+1 < len(p) {
+				g.addEdge(pc, pc+1)
+			}
+		}
+	}
+	return g
+}
+
+func (g *CFG) addEdge(from, to int) {
+	if to < 0 || to >= len(g.prog) {
+		return
+	}
+	g.succs[from] = append(g.succs[from], to)
+	g.preds[to] = append(g.preds[to], from)
+}
+
+// Succs returns the static successors of pc.
+func (g *CFG) Succs(pc int) []int { return g.succs[pc] }
+
+// Preds returns the static predecessors of pc.
+func (g *CFG) Preds(pc int) []int { return g.preds[pc] }
+
+// PostDominators computes the immediate postdominator of every
+// instruction, with a virtual exit node reached from every Halt. The
+// returned slice maps pc to its immediate postdominator pc, or -1 when the
+// instruction has none (it postdominates itself only, or cannot reach
+// exit).
+//
+// The algorithm is the iterative dataflow formulation run on the reverse
+// CFG in reverse post-order.
+func (g *CFG) PostDominators() []int {
+	n := len(g.prog)
+	const exit = -2 // virtual exit sentinel inside the lattice
+	// ipdom[pc] holds the current immediate postdominator estimate;
+	// -1 = uninitialized (TOP), exit = the virtual exit node.
+	ipdom := make([]int, n)
+	for i := range ipdom {
+		ipdom[i] = -1
+	}
+
+	// Reverse post-order of the *reverse* CFG = post-order of forward CFG.
+	order := g.reverseCFGRPO()
+
+	// Depth in the postdominator tree for the intersect walk; recomputed
+	// lazily via parent chains. We use the standard Cooper-Harvey-Kennedy
+	// intersect with node ordering by position in `order`.
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, pc := range order {
+		pos[pc] = i
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			if a == exit {
+				return exit
+			}
+			if b == exit {
+				return exit
+			}
+			for a != b && a != exit && b != exit && pos[a] > pos[b] {
+				a = ipdom[a]
+				if a == -1 {
+					return -1
+				}
+			}
+			for a != b && a != exit && b != exit && pos[b] > pos[a] {
+				b = ipdom[b]
+				if b == -1 {
+					return -1
+				}
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, pc := range order {
+			var newIdom = -1
+			if g.prog[pc].Op == isa.Halt {
+				newIdom = exit
+			} else {
+				first := true
+				for _, s := range g.succs[pc] {
+					if ipdom[s] == -1 && g.prog[s].Op != isa.Halt {
+						continue // unprocessed
+					}
+					cand := s
+					if first {
+						newIdom = cand
+						first = false
+					} else {
+						newIdom = intersect(newIdom, cand)
+						if newIdom == -1 {
+							break
+						}
+					}
+				}
+			}
+			if newIdom != ipdom[pc] && newIdom != -1 {
+				ipdom[pc] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	out := make([]int, n)
+	for i, v := range ipdom {
+		if v == exit {
+			out[i] = -1
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// reverseCFGRPO returns an ordering of nodes such that, walking the reverse
+// CFG from the exits, a node appears after the nodes that postdominate it
+// whenever possible (reverse post-order of the reverse CFG).
+func (g *CFG) reverseCFGRPO() []int {
+	n := len(g.prog)
+	visited := make([]bool, n)
+	var post []int
+	var dfs func(pc int)
+	dfs = func(pc int) {
+		visited[pc] = true
+		for _, p := range g.preds[pc] {
+			if !visited[p] {
+				dfs(p)
+			}
+		}
+		post = append(post, pc)
+	}
+	for pc := range g.prog {
+		if g.prog[pc].Op == isa.Halt && !visited[pc] {
+			dfs(pc)
+		}
+	}
+	// Any nodes not reaching a Halt (e.g. infinite loops): append in
+	// arbitrary order so they still participate.
+	for pc := n - 1; pc >= 0; pc-- {
+		if !visited[pc] {
+			dfs(pc)
+		}
+	}
+	// post is post-order of reverse CFG; reverse it.
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Reconvergence returns the reconvergence PC of the conditional branch at
+// pc, defined as the nearest common postdominator of its two successors,
+// or -1 if none exists. This mirrors DMP's compiler-provided CFM point.
+func (g *CFG) Reconvergence(pc int) int {
+	if g.prog[pc].Op != isa.Br {
+		return -1
+	}
+	ipdom := g.PostDominators()
+	return g.reconvergenceWith(pc, ipdom)
+}
+
+func (g *CFG) reconvergenceWith(pc int, ipdom []int) int {
+	// Walk the ipdom chain from the branch itself: the branch's immediate
+	// postdominator is exactly where both outgoing paths must meet.
+	r := ipdom[pc]
+	if r == pc {
+		return -1
+	}
+	return r
+}
+
+// AllReconvergences computes the reconvergence point of every conditional
+// branch in one postdominator pass. The map omits branches without one.
+func (g *CFG) AllReconvergences() map[int]int {
+	ipdom := g.PostDominators()
+	out := make(map[int]int)
+	for pc := range g.prog {
+		if g.prog[pc].Op != isa.Br {
+			continue
+		}
+		if r := g.reconvergenceWith(pc, ipdom); r >= 0 {
+			out[pc] = r
+		}
+	}
+	return out
+}
+
+// PathLength returns the length in instructions of the shortest static path
+// from `from` (exclusive) to `to` (exclusive), or -1 if unreachable within
+// limit steps. Used to size hammock bodies.
+func (g *CFG) PathLength(from, to, limit int) int {
+	if from == to {
+		return 0
+	}
+	type node struct{ pc, d int }
+	seen := map[int]bool{from: true}
+	queue := []node{{from, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.d >= limit {
+			continue
+		}
+		for _, s := range g.succs[cur.pc] {
+			if s == to {
+				return cur.d // instructions strictly between from and to
+			}
+			if !seen[s] {
+				seen[s] = true
+				queue = append(queue, node{s, cur.d + 1})
+			}
+		}
+	}
+	return -1
+}
+
+// Hammock describes a conditional branch with a static reconvergence point
+// and measured path lengths; produced by AnalyzeHammocks for the DMP/DHP
+// profiling passes.
+type Hammock struct {
+	BranchPC    int
+	ReconvPC    int
+	TakenLen    int // instructions on the taken path (may be -1)
+	NotTakenLen int
+	Simple      bool // both paths straight-line (no internal control flow)
+}
+
+// AnalyzeHammocks returns the hammock structure of every conditional branch
+// that statically reconverges within maxBody instructions on both paths.
+func AnalyzeHammocks(p []isa.Instruction, maxBody int) []Hammock {
+	g := NewCFG(p)
+	recon := g.AllReconvergences()
+	var out []Hammock
+	for pc := range p {
+		r, ok := recon[pc]
+		if !ok {
+			continue
+		}
+		in := &p[pc]
+		ntStart := pc + 1
+		tStart := in.Target
+		ntLen := pathLenFrom(g, ntStart, r, maxBody)
+		tLen := pathLenFrom(g, tStart, r, maxBody)
+		if ntLen < 0 || tLen < 0 {
+			continue
+		}
+		out = append(out, Hammock{
+			BranchPC:    pc,
+			ReconvPC:    r,
+			TakenLen:    tLen,
+			NotTakenLen: ntLen,
+			Simple:      straightLine(p, ntStart, r) && straightLine(p, tStart, r),
+		})
+	}
+	return out
+}
+
+// pathLenFrom measures instructions from start (inclusive) to to
+// (exclusive) along the shortest static path.
+func pathLenFrom(g *CFG, start, to, limit int) int {
+	if start == to {
+		return 0
+	}
+	d := g.PathLength(start, to, limit)
+	if d < 0 {
+		return -1
+	}
+	return d + 1 // include start itself
+}
+
+// straightLine reports whether the instructions in [start,to) fall through
+// linearly with no internal control flow (the DHP "simple hammock"
+// criterion). start==to is trivially straight-line. A single terminal Jmp
+// directly to `to` is allowed (the IF-ELSE skip jump).
+func straightLine(p []isa.Instruction, start, to int) bool {
+	if start == to {
+		return true
+	}
+	if start > to {
+		return false
+	}
+	for pc := start; pc < to; pc++ {
+		in := &p[pc]
+		if in.Op == isa.Jmp && in.Target == to {
+			continue
+		}
+		if in.IsControl() || in.Op == isa.Halt {
+			return false
+		}
+	}
+	return true
+}

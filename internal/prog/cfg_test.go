@@ -1,0 +1,194 @@
+package prog
+
+import (
+	"testing"
+
+	"acb/internal/isa"
+)
+
+// ifOnly builds: br -> [body] -> recon -> halt (Type-1 shape).
+func ifOnly(bodyLen int) []isa.Instruction {
+	b := NewBuilder()
+	b.Brz(isa.R1, "recon")
+	for i := 0; i < bodyLen; i++ {
+		b.AddI(isa.R2, isa.R2, 1)
+	}
+	b.Label("recon")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// ifElse builds a classic diamond.
+func ifElse(tLen, ntLen int) []isa.Instruction {
+	b := NewBuilder()
+	b.Brz(isa.R1, "else")
+	for i := 0; i < ntLen; i++ {
+		b.AddI(isa.R2, isa.R2, 1)
+	}
+	b.Jmp("end")
+	b.Label("else")
+	for i := 0; i < tLen; i++ {
+		b.AddI(isa.R2, isa.R2, 2)
+	}
+	b.Label("end")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestCFGSuccs(t *testing.T) {
+	p := ifElse(2, 3)
+	g := NewCFG(p)
+	// Branch at 0: successors 1 (fall-through) and else-target.
+	s := g.Succs(0)
+	if len(s) != 2 || s[0] != 1 || s[1] != p[0].Target {
+		t.Fatalf("branch succs = %v", s)
+	}
+	// Halt: none.
+	if len(g.Succs(len(p)-1)) != 0 {
+		t.Fatal("halt has successors")
+	}
+	// Preds of reconvergence: the skip jump and the last else inst.
+	recon := len(p) - 1 - 0 // halt is recon here? end label == halt index
+	_ = recon
+}
+
+func TestReconvergenceIfOnly(t *testing.T) {
+	p := ifOnly(3)
+	g := NewCFG(p)
+	r := g.Reconvergence(0)
+	if r != p[0].Target {
+		t.Fatalf("recon = %d, want branch target %d", r, p[0].Target)
+	}
+}
+
+func TestReconvergenceIfElse(t *testing.T) {
+	p := ifElse(2, 3)
+	g := NewCFG(p)
+	r := g.Reconvergence(0)
+	// Reconvergence is the "end" label: the instruction after the else
+	// block, which is the final Halt.
+	want := len(p) - 1
+	if r != want {
+		t.Fatalf("recon = %d, want %d", r, want)
+	}
+}
+
+func TestReconvergenceNonBranch(t *testing.T) {
+	p := ifOnly(1)
+	g := NewCFG(p)
+	if g.Reconvergence(1) != -1 {
+		t.Fatal("non-branch must have no reconvergence")
+	}
+}
+
+func TestAllReconvergences(t *testing.T) {
+	b := NewBuilder()
+	b.Brz(isa.R1, "skip1")
+	b.Nop()
+	b.Label("skip1")
+	b.Brz(isa.R2, "skip2")
+	b.Nop()
+	b.Nop()
+	b.Label("skip2")
+	b.Halt()
+	p := b.MustBuild()
+	rec := NewCFG(p).AllReconvergences()
+	if rec[0] != 2 {
+		t.Errorf("branch 0 recon = %d, want 2", rec[0])
+	}
+	if rec[2] != 5 {
+		t.Errorf("branch 2 recon = %d, want 5", rec[2])
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	p := ifElse(2, 3)
+	g := NewCFG(p)
+	recon := g.Reconvergence(0)
+	// PathLength reports the shortest static path from the branch: the
+	// taken (else) side with 2 body instructions.
+	if d := g.PathLength(0, recon, 32); d != 2 {
+		t.Errorf("shortest path len = %d, want 2", d)
+	}
+	// Unreachable within limit.
+	if d := g.PathLength(0, recon, 1); d != -1 {
+		t.Error("limit not honoured")
+	}
+}
+
+func TestAnalyzeHammocks(t *testing.T) {
+	p := ifElse(2, 3)
+	hs := AnalyzeHammocks(p, 32)
+	if len(hs) != 1 {
+		t.Fatalf("hammocks = %d, want 1", len(hs))
+	}
+	h := hs[0]
+	if h.BranchPC != 0 {
+		t.Errorf("branch pc = %d", h.BranchPC)
+	}
+	if h.TakenLen != 2 {
+		t.Errorf("taken len = %d, want 2", h.TakenLen)
+	}
+	if h.NotTakenLen != 4 { // 3 body + skip jump
+		t.Errorf("not-taken len = %d, want 4", h.NotTakenLen)
+	}
+	if !h.Simple {
+		t.Error("diamond should be simple")
+	}
+}
+
+func TestAnalyzeHammocksType1Empty(t *testing.T) {
+	p := ifOnly(2)
+	hs := AnalyzeHammocks(p, 32)
+	if len(hs) != 1 {
+		t.Fatalf("hammocks = %d, want 1", len(hs))
+	}
+	if hs[0].TakenLen != 0 {
+		t.Errorf("taken len = %d, want 0 (empty path)", hs[0].TakenLen)
+	}
+	if hs[0].NotTakenLen != 2 {
+		t.Errorf("not-taken len = %d, want 2", hs[0].NotTakenLen)
+	}
+}
+
+func TestAnalyzeHammocksRejectsBigBodies(t *testing.T) {
+	p := ifOnly(50)
+	if hs := AnalyzeHammocks(p, 16); len(hs) != 0 {
+		t.Fatalf("oversized hammock not rejected: %+v", hs)
+	}
+}
+
+func TestHammockNotSimpleWithInnerControl(t *testing.T) {
+	b := NewBuilder()
+	b.Brz(isa.R1, "end")
+	b.Brz(isa.R2, "inner") // inner control flow
+	b.Nop()
+	b.Label("inner")
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	p := b.MustBuild()
+	hs := AnalyzeHammocks(p, 32)
+	for _, h := range hs {
+		if h.BranchPC == 0 && h.Simple {
+			t.Fatal("hammock with inner branch flagged simple")
+		}
+	}
+}
+
+// TestLoopPostdominators: a loop branch's reconvergence is the loop exit.
+func TestLoopPostdominators(t *testing.T) {
+	b := NewBuilder()
+	b.MovI(isa.R1, 10)
+	b.Label("loop")
+	b.AddI(isa.R1, isa.R1, -1)
+	b.Brnz(isa.R1, "loop")
+	b.Halt()
+	p := b.MustBuild()
+	g := NewCFG(p)
+	r := g.Reconvergence(2)
+	// Both directions of the back-branch eventually reach the Halt at 3.
+	if r != 3 && r != 1 {
+		t.Fatalf("loop branch recon = %d, want 3 (exit) or 1 (header)", r)
+	}
+}

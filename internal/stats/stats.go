@@ -1,0 +1,167 @@
+// Package stats provides the counters and report formatting shared by the
+// simulator, the experiment harness and the benchmarks.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counters is a named-counter bag with stable ordering for reports.
+type Counters struct {
+	names  []string
+	values map[string]int64
+}
+
+// NewCounters returns an empty counter bag.
+func NewCounters() *Counters {
+	return &Counters{values: make(map[string]int64)}
+}
+
+// Add increments the named counter by delta, creating it at zero first.
+func (c *Counters) Add(name string, delta int64) {
+	if _, ok := c.values[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.values[name] += delta
+}
+
+// Get returns the value of the named counter (zero if absent).
+func (c *Counters) Get(name string) int64 { return c.values[name] }
+
+// Names returns the counter names in insertion order.
+func (c *Counters) Names() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// String formats all counters, one per line.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, n := range c.names {
+		fmt.Fprintf(&b, "%-32s %12d\n", n, c.values[n])
+	}
+	return b.String()
+}
+
+// Geomean returns the geometric mean of xs. It returns 1 for an empty
+// slice and ignores non-positive entries (which would otherwise poison the
+// log domain).
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		sum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Ratio returns a/b, or 0 when b is zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// PercentDelta returns (after/before - 1) * 100, or 0 when before is zero.
+func PercentDelta(after, before float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return (after/before - 1) * 100
+}
+
+// Table accumulates rows and renders them with aligned columns; the
+// experiment harness uses it to print figure/table data series.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{Header: header} }
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// SortByColumn sorts rows by the numeric (falling back to string) value of
+// the given column index.
+func (t *Table) SortByColumn(col int) {
+	sort.SliceStable(t.Rows, func(i, j int) bool {
+		var a, b float64
+		_, errA := fmt.Sscanf(t.Rows[i][col], "%g", &a)
+		_, errB := fmt.Sscanf(t.Rows[j][col], "%g", &b)
+		if errA == nil && errB == nil {
+			return a < b
+		}
+		return t.Rows[i][col] < t.Rows[j][col]
+	})
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

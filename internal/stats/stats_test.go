@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("a", 3)
+	if c.Get("a") != 4 || c.Get("b") != 2 || c.Get("zzz") != 0 {
+		t.Fatalf("unexpected values: a=%d b=%d", c.Get("a"), c.Get("b"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	s := c.String()
+	if !strings.Contains(s, "a") || !strings.Contains(s, "4") {
+		t.Fatalf("string output: %q", s)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("geomean(2,8) = %f", g)
+	}
+	if g := Geomean(nil); g != 1 {
+		t.Errorf("geomean(nil) = %f, want 1", g)
+	}
+	// Non-positive entries ignored.
+	if g := Geomean([]float64{4, 0, -1}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("geomean with junk = %f", g)
+	}
+}
+
+// TestGeomeanBounds: the geometric mean lies between min and max
+// (property-based).
+func TestGeomeanBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range raw {
+			x = math.Abs(x)
+			if x == 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+				continue
+			}
+			// Keep the product comfortably inside the float range; the
+			// log-domain implementation is exact enough there.
+			x = math.Mod(x, 1e6) + 0.5
+			xs = append(xs, x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if len(xs) == 0 {
+			return Geomean(xs) == 1
+		}
+		g := Geomean(xs)
+		return g >= lo*(1-1e-9) && g <= hi*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatioAndDelta(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("ratio")
+	}
+	if Ratio(6, 0) != 0 {
+		t.Error("ratio by zero")
+	}
+	if d := PercentDelta(110, 100); math.Abs(d-10) > 1e-9 {
+		t.Errorf("delta = %f", d)
+	}
+	if PercentDelta(1, 0) != 0 {
+		t.Error("delta by zero")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("x", 1.5)
+	tb.AddRow("longer-name", 42)
+	s := tb.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Fatalf("lines = %d: %q", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(s, "1.500") {
+		t.Error("float not formatted with 3 decimals")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow(1, 2)
+	want := "a,b\n1,2\n"
+	if got := tb.CSV(); got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestTableSortByColumn(t *testing.T) {
+	tb := NewTable("k", "v")
+	tb.AddRow("b", 3.0)
+	tb.AddRow("a", 1.0)
+	tb.AddRow("c", 2.0)
+	tb.SortByColumn(1)
+	if tb.Rows[0][0] != "a" || tb.Rows[1][0] != "c" || tb.Rows[2][0] != "b" {
+		t.Fatalf("sorted rows: %v", tb.Rows)
+	}
+}

@@ -1,0 +1,191 @@
+// Package viz renders experiment data series as ASCII charts for the
+// terminal: horizontal bar charts for per-workload speedups (the paper's
+// Figs. 6/8/11 style) and scatter rows for correlation plots (Fig. 7
+// style). It keeps the harness dependency-free while making the
+// regenerated figures legible at a glance.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled to width runes. A reference
+// value (e.g. 1.0 for speedups) is marked with '|'; bars are drawn with
+// '█' and negative-side bars (below the reference) with '░'.
+type BarChart struct {
+	Title     string
+	Reference float64 // vertical reference line; 0 disables
+	Width     int     // bar area width in runes (default 40)
+	Bars      []Bar
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.Bars = append(c.Bars, Bar{Label: label, Value: value})
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	labelW := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range c.Bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+		lo = math.Min(lo, b.Value)
+		hi = math.Max(hi, b.Value)
+	}
+	if len(c.Bars) == 0 {
+		return c.Title + " (empty)\n"
+	}
+	if c.Reference != 0 {
+		lo = math.Min(lo, c.Reference)
+		hi = math.Max(hi, c.Reference)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	refCol := -1
+	if c.Reference != 0 {
+		refCol = int(float64(width-1) * (c.Reference - lo) / span)
+	}
+	for _, b := range c.Bars {
+		col := int(float64(width-1) * (b.Value - lo) / span)
+		row := make([]rune, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		fill := '█'
+		if c.Reference != 0 && b.Value < c.Reference {
+			fill = '░'
+		}
+		from, to := 0, col
+		if refCol >= 0 {
+			from, to = refCol, col
+			if from > to {
+				from, to = to, from
+			}
+		}
+		for i := from; i <= to && i < width; i++ {
+			row[i] = fill
+		}
+		if refCol >= 0 && refCol < width {
+			row[refCol] = '|'
+		}
+		fmt.Fprintf(&sb, "%-*s %s %.3f\n", labelW, b.Label, string(row), b.Value)
+	}
+	return sb.String()
+}
+
+// Point is one labelled (x, y) sample.
+type Point struct {
+	Label string
+	X, Y  float64
+}
+
+// Scatter renders labelled points on a character grid — enough to see a
+// correlation trend (Fig. 7's mis-speculation ratio vs performance).
+type Scatter struct {
+	Title          string
+	XLabel, YLabel string
+	Width, Height  int
+	Points         []Point
+}
+
+// Add appends one point.
+func (s *Scatter) Add(label string, x, y float64) {
+	s.Points = append(s.Points, Point{Label: label, X: x, Y: y})
+}
+
+// String renders the scatter plot.
+func (s *Scatter) String() string {
+	w, h := s.Width, s.Height
+	if w <= 0 {
+		w = 56
+	}
+	if h <= 0 {
+		h = 16
+	}
+	if len(s.Points) == 0 {
+		return s.Title + " (empty)\n"
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range s.Points {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = make([]rune, w)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for _, p := range s.Points {
+		col := int(float64(w-1) * (p.X - minX) / (maxX - minX))
+		row := h - 1 - int(float64(h-1)*(p.Y-minY)/(maxY-minY))
+		if grid[row][col] == ' ' {
+			grid[row][col] = '•'
+		} else {
+			grid[row][col] = '◉' // overlapping points
+		}
+	}
+	var sb strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", s.Title)
+	}
+	fmt.Fprintf(&sb, "%s (y: %.3f .. %.3f)\n", s.YLabel, minY, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&sb, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(&sb, "  +%s\n", strings.Repeat("-", w))
+	fmt.Fprintf(&sb, "   %s (x: %.3f .. %.3f)\n", s.XLabel, minX, maxX)
+	return sb.String()
+}
+
+// Sparkline renders a compact single-line series.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	out := make([]rune, len(values))
+	for i, v := range values {
+		idx := int(float64(len(ramp)-1) * (v - lo) / (hi - lo))
+		out[i] = ramp[idx]
+	}
+	return string(out)
+}

@@ -1,0 +1,90 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	c := &BarChart{Title: "speedups", Reference: 1.0, Width: 20}
+	c.Add("fast", 1.5)
+	c.Add("slow", 0.8)
+	out := c.String()
+	if !strings.Contains(out, "speedups") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "fast") || !strings.Contains(out, "1.500") {
+		t.Errorf("missing bar row:\n%s", out)
+	}
+	if !strings.Contains(out, "█") {
+		t.Error("missing positive fill")
+	}
+	if !strings.Contains(out, "░") {
+		t.Error("missing below-reference fill")
+	}
+	if !strings.Contains(out, "|") {
+		t.Error("missing reference mark")
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	c := &BarChart{Title: "x"}
+	if !strings.Contains(c.String(), "empty") {
+		t.Error("empty chart must say so")
+	}
+}
+
+func TestBarChartEqualValues(t *testing.T) {
+	c := &BarChart{Width: 10}
+	c.Add("a", 2)
+	c.Add("b", 2)
+	if out := c.String(); !strings.Contains(out, "2.000") {
+		t.Errorf("degenerate span broke rendering:\n%s", out)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	s := &Scatter{Title: "corr", XLabel: "flush ratio", YLabel: "perf", Width: 20, Height: 8}
+	s.Add("a", 0.1, 1.5)
+	s.Add("b", 0.9, 1.0)
+	s.Add("c", 0.9, 1.0) // overlap
+	out := s.String()
+	if !strings.Contains(out, "•") {
+		t.Error("missing point")
+	}
+	if !strings.Contains(out, "◉") {
+		t.Error("missing overlap marker")
+	}
+	if !strings.Contains(out, "flush ratio") || !strings.Contains(out, "perf") {
+		t.Error("missing axis labels")
+	}
+	rows := strings.Count(out, "|")
+	if rows < 8 {
+		t.Errorf("grid rows = %d, want >= 8", rows)
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	s := &Scatter{Title: "x"}
+	if !strings.Contains(s.String(), "empty") {
+		t.Error("empty scatter must say so")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline")
+	}
+	out := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(out)) != 4 {
+		t.Fatalf("length = %d", len([]rune(out)))
+	}
+	r := []rune(out)
+	if r[0] != '▁' || r[3] != '█' {
+		t.Errorf("ramp wrong: %q", out)
+	}
+	// Flat series must not divide by zero.
+	if flat := Sparkline([]float64{5, 5, 5}); len([]rune(flat)) != 3 {
+		t.Error("flat series broke")
+	}
+}
