@@ -146,28 +146,12 @@ func ablationWorkloads() []string {
 	return []string{"lammps", "omnetpp", "eembc", "soplex", "gobmk"}
 }
 
+// runACBVariant routes the ablation sweep through the experiments
+// package's shared worker pool (baseline and variant per workload fan out
+// up to GOMAXPROCS wide; the geomean is scheduling-independent).
 func runACBVariant(b *testing.B, cfg core.Config, names []string) float64 {
 	b.Helper()
-	var speedups []float64
-	for _, n := range names {
-		w, err := workload.ByName(n)
-		if err != nil {
-			b.Fatal(err)
-		}
-		p, m := w.Build()
-		base := ooo.NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), nil, m.Clone())
-		bres, err := base.Run(benchBudget)
-		if err != nil {
-			b.Fatal(err)
-		}
-		c := ooo.NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), core.New(cfg), m.Clone())
-		res, err := c.Run(benchBudget)
-		if err != nil {
-			b.Fatal(err)
-		}
-		speedups = append(speedups, res.IPC/bres.IPC)
-	}
-	return stats.Geomean(speedups)
+	return experiments.ACBGeomean(benchOpts(), cfg, names)
 }
 
 // BenchmarkAblationDynamo — ACB with vs without the run-time monitor.

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"acb/internal/experiments"
@@ -27,9 +28,10 @@ func main() {
 		exp       = flag.String("experiment", "all", "experiment to run (fig1 fig6 fig7 fig8 fig9 fig10 fig11 scaling power census sens-n sens-epoch sens-acbtable sens-critical sens-predictor multirecon table1 table2 table3 all)")
 		budget    = flag.Int64("budget", 400_000, "retired-instruction budget per simulation")
 		names     = flag.String("workloads", "", "comma-separated workload subset (default: full suite)")
+		jobs      = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		plot      = flag.Bool("plot", false, "render ASCII charts alongside the tables")
-		verbose   = flag.Bool("v", false, "per-run progress on stderr")
+		verbose   = flag.Bool("v", false, "per-run progress and runner stats on stderr")
 		listNames = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
@@ -53,6 +55,9 @@ func main() {
 			opts.Workloads = append(opts.Workloads, w)
 		}
 	}
+	opts.Jobs = *jobs
+	runStats := &experiments.RunnerStats{}
+	opts.Stats = runStats
 	if *verbose {
 		opts.Verbose = true
 		opts.Logf = func(format string, args ...interface{}) {
@@ -110,15 +115,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(1)
 	}
+	if *verbose && runStats.Jobs() > 0 {
+		fmt.Fprintf(os.Stderr, "runner total: %s\n", runStats)
+	}
 }
 
 // renderPlot draws an ASCII chart for the figure tables that benefit from
 // one: speedup bar charts for fig6/fig8/fig11/scaling, and the Fig. 7
 // correlation scatter.
 func renderPlot(name string, t *stats.Table) string {
+	// strconv.ParseFloat rejects garbage-suffixed cells like "1.2x" that
+	// Sscanf("%g") would silently truncate to 1.2.
 	parse := func(cell string) (float64, bool) {
-		var v float64
-		if _, err := fmt.Sscanf(cell, "%g", &v); err != nil {
+		v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+		if err != nil {
 			return 0, false
 		}
 		return v, true

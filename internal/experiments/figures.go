@@ -302,7 +302,12 @@ func MispredictCensus(opts Options) *stats.Table {
 	opts.fill()
 	t := stats.NewTable("workload", "pcs-for-95%", "convergent-%", "loop-%", "nonconv-%")
 	cache := newProfileCache()
-	for i := range opts.Workloads {
+	type censusRow struct {
+		pcs95               int
+		conv, loop, nonconv float64
+	}
+	rows := make([]censusRow, len(opts.Workloads))
+	runPool(&opts, len(opts.Workloads), func(i int) {
 		w := &opts.Workloads[i]
 		res := runOne(&opts, cache, w, SchemeBaseline)
 
@@ -318,7 +323,14 @@ func MispredictCensus(opts Options) *stats.Table {
 				total += st.Mispredict
 			}
 		}
-		sort.Slice(list, func(i, j int) bool { return list[i].miss > list[j].miss })
+		// Tie-break equal miss counts by PC so the 95%-coverage count does
+		// not depend on map iteration order.
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].miss != list[j].miss {
+				return list[i].miss > list[j].miss
+			}
+			return list[i].pc < list[j].pc
+		})
 		var cum int64
 		pcs95 := 0
 		for _, pm := range list {
@@ -350,7 +362,11 @@ func MispredictCensus(opts Options) *stats.Table {
 			}
 		}
 		pct := func(x int64) float64 { return stats.Ratio(float64(x)*100, float64(total)) }
-		t.AddRow(w.Name, pcs95, pct(conv), pct(loop), pct(nonconv))
+		rows[i] = censusRow{pcs95, pct(conv), pct(loop), pct(nonconv)}
+	})
+	for i := range opts.Workloads {
+		r := rows[i]
+		t.AddRow(opts.Workloads[i].Name, r.pcs95, r.conv, r.loop, r.nonconv)
 	}
 	return t
 }

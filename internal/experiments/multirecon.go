@@ -32,25 +32,24 @@ func MultiRecon(opts Options) *stats.Table {
 	spec := b1Workload()
 	p, m := spec.Build()
 
-	run := func(scheme ooo.Scheme) (ooo.Result, *core.ACB) {
-		acb, _ := scheme.(*core.ACB)
-		c := ooo.NewWithMemory(opts.Config, p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), scheme, m.Clone())
+	plain := core.New(core.DefaultConfig())
+	mrCfg := core.DefaultConfig()
+	mrCfg.MultiRecon = true
+	mr := core.New(mrCfg)
+
+	// The three variants are independent simulations over clones of the
+	// same image, so they fan out on the pool like any other jobs.
+	schemes := []ooo.Scheme{nil, plain, mr}
+	results := make([]ooo.Result, len(schemes))
+	runPool(&opts, len(schemes), func(i int) {
+		c := ooo.NewWithMemory(opts.Config, p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), schemes[i], m.Clone())
 		res, err := c.Run(opts.Budget)
 		if err != nil {
 			panic(err)
 		}
-		return res, acb
-	}
-
-	base, _ := run(nil)
-
-	plain := core.New(core.DefaultConfig())
-	resPlain, _ := run(plain)
-
-	mrCfg := core.DefaultConfig()
-	mrCfg.MultiRecon = true
-	mr := core.New(mrCfg)
-	resMR, _ := run(mr)
+		results[i] = res
+	})
+	base, resPlain, resMR := results[0], results[1], results[2]
 
 	t := stats.NewTable("scheme", "speedup", "div-flushes/k", "predications", "recon-promotions")
 	t.AddRow("baseline", 1.0, perKilo(base.DivFlushes, base.Retired), base.Predications, 0)

@@ -3,10 +3,20 @@
 // function per experiment, each returning a stats.Table whose rows are the
 // data series the corresponding paper figure plots. EXPERIMENTS.md records
 // the paper-vs-measured comparison for each.
+//
+// Every (workload, scheme) simulation is independent and
+// seed-deterministic, so the harness fans them out over a bounded worker
+// pool (Options.Jobs); results are aggregated by job index, which makes
+// the emitted tables byte-identical whatever the job count.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"acb/internal/bpu"
 	"acb/internal/config"
@@ -26,9 +36,16 @@ type Options struct {
 	Workloads []workload.Workload
 	// Config defaults to the Skylake-like baseline.
 	Config config.Core
-	// Verbose emits per-run progress through Logf.
+	// Jobs bounds how many simulations run concurrently. 0 means
+	// runtime.GOMAXPROCS(0); 1 reproduces the serial runner exactly.
+	Jobs int
+	// Verbose emits per-run progress and a per-pool runner summary
+	// through Logf.
 	Verbose bool
 	Logf    func(format string, args ...interface{})
+	// Stats, when non-nil, accumulates runner totals across every pool
+	// executed with these Options (acbsweep prints it after an -all run).
+	Stats *RunnerStats
 }
 
 // DefaultOptions returns the budget and configuration used by the bench
@@ -50,8 +67,139 @@ func (o *Options) fill() {
 	if o.Config.Name == "" {
 		o.Config = config.Skylake()
 	}
+	if o.Jobs <= 0 {
+		o.Jobs = runtime.GOMAXPROCS(0)
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...interface{}) {}
+	}
+	// Serialise the sink: parallel jobs emit whole lines, never
+	// interleaved mid-line.
+	logf := o.Logf
+	var mu sync.Mutex
+	o.Logf = func(format string, args ...interface{}) {
+		mu.Lock()
+		defer mu.Unlock()
+		logf(format, args...)
+	}
+}
+
+// RunnerStats accumulates pool totals: jobs run, wall-clock time, and the
+// cumulative single-threaded simulation time, whose ratio is the
+// effective parallel speedup.
+type RunnerStats struct {
+	mu   sync.Mutex
+	jobs int64
+	wall time.Duration
+	sim  time.Duration
+}
+
+func (s *RunnerStats) add(jobs int, wall, sim time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs += int64(jobs)
+	s.wall += wall
+	s.sim += sim
+}
+
+// Jobs returns the total number of simulations dispatched.
+func (s *RunnerStats) Jobs() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs
+}
+
+// Speedup returns cumulative simulation time / wall time (1.0 for a
+// serial run, approaching the worker count under ideal scaling).
+func (s *RunnerStats) Speedup() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wall <= 0 {
+		return 0
+	}
+	return float64(s.sim) / float64(s.wall)
+}
+
+func (s *RunnerStats) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sp := 0.0
+	if s.wall > 0 {
+		sp = float64(s.sim) / float64(s.wall)
+	}
+	return fmt.Sprintf("%d jobs, wall %s, sim %s, effective speedup %.2fx",
+		s.jobs, s.wall.Round(time.Millisecond), s.sim.Round(time.Millisecond), sp)
+}
+
+// runPool executes jobs 0..n-1 with at most opts.Jobs running at once.
+// Each job writes into its own pre-allocated result slot, so aggregation
+// order — and therefore every emitted table — is independent of
+// scheduling. A panic in any job is re-raised on the caller's goroutine
+// after the pool drains.
+func runPool(opts *Options, n int, run func(i int)) {
+	if n == 0 {
+		return
+	}
+	workers := opts.Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	start := time.Now()
+	var sim atomic.Int64
+	var panicked atomic.Value
+	timed := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, fmt.Sprintf("experiments: job %d: %v", i, r))
+			}
+		}()
+		t0 := time.Now()
+		run(i)
+		sim.Add(int64(time.Since(t0)))
+	}
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			timed(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					timed(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	wall := time.Since(start)
+	simTotal := time.Duration(sim.Load())
+	if opts.Stats != nil {
+		opts.Stats.add(n, wall, simTotal)
+	}
+	if opts.Verbose {
+		sp := 0.0
+		if wall > 0 {
+			sp = float64(simTotal) / float64(wall)
+		}
+		opts.Logf("runner: %d jobs on %d workers: wall %s, sim %s, %.2fx effective speedup",
+			n, workers, wall.Round(time.Millisecond), simTotal.Round(time.Millisecond), sp)
+	}
+	if p := panicked.Load(); p != nil {
+		panic(p)
 	}
 }
 
@@ -70,25 +218,41 @@ const (
 	SchemeDHP         SchemeKind = "dhp"
 )
 
-// profiles caches DMP profiling results per workload (the compiler pass
-// runs once per binary, not once per simulation).
+// profileCache caches DMP profiling results per workload (the compiler
+// pass runs once per binary, not once per simulation). It is
+// concurrency-safe with per-workload single-flight semantics: when
+// several schemes of the same workload are in flight at once, exactly one
+// runs dmp.Profile and the rest block on its entry.
 type profileCache struct {
-	m map[string][]dmp.Candidate
+	mu   sync.Mutex
+	m    map[string]*profileEntry
+	runs atomic.Int64 // dmp.Profile executions, observable by tests
 }
 
-func newProfileCache() *profileCache { return &profileCache{m: make(map[string][]dmp.Candidate)} }
+type profileEntry struct {
+	once sync.Once
+	c    []dmp.Candidate
+}
+
+func newProfileCache() *profileCache { return &profileCache{m: make(map[string]*profileEntry)} }
 
 func (pc *profileCache) get(w *workload.Workload, _ []isa.Instruction, _ *isa.Memory) []dmp.Candidate {
-	if c, ok := pc.m[w.Name]; ok {
-		return c
+	pc.mu.Lock()
+	e, ok := pc.m[w.Name]
+	if !ok {
+		e = &profileEntry{}
+		pc.m[w.Name] = e
 	}
-	// The compiler pass profiles the *training* input (the paper's
-	// Sec. II-B/V-C point about input mismatch); the simulation then runs
-	// the actual input.
-	tp, tm := w.BuildTrain()
-	c := dmp.Profile(tp, tm, dmp.DefaultProfileConfig())
-	pc.m[w.Name] = c
-	return c
+	pc.mu.Unlock()
+	e.once.Do(func() {
+		pc.runs.Add(1)
+		// The compiler pass profiles the *training* input (the paper's
+		// Sec. II-B/V-C point about input mismatch); the simulation then
+		// runs the actual input.
+		tp, tm := w.BuildTrain()
+		e.c = dmp.Profile(tp, tm, dmp.DefaultProfileConfig())
+	})
+	return e.c
 }
 
 // runOne simulates one workload under one scheme variant.
@@ -132,19 +296,23 @@ func runOne(opts *Options, cache *profileCache, w *workload.Workload, kind Schem
 	return res
 }
 
-// sweep runs every workload under each scheme variant and returns
-// per-workload results keyed by scheme.
+// sweep runs every workload under each scheme variant on the worker pool
+// and returns per-workload results keyed by scheme.
 func sweep(opts Options, kinds ...SchemeKind) map[string]map[SchemeKind]ooo.Result {
 	opts.fill()
 	cache := newProfileCache()
+	nk := len(kinds)
+	results := make([]ooo.Result, len(opts.Workloads)*nk)
+	runPool(&opts, len(results), func(i int) {
+		results[i] = runOne(&opts, cache, &opts.Workloads[i/nk], kinds[i%nk])
+	})
 	out := make(map[string]map[SchemeKind]ooo.Result, len(opts.Workloads))
-	for i := range opts.Workloads {
-		w := &opts.Workloads[i]
-		res := make(map[SchemeKind]ooo.Result, len(kinds))
-		for _, k := range kinds {
-			res[k] = runOne(&opts, cache, w, k)
+	for wi := range opts.Workloads {
+		res := make(map[SchemeKind]ooo.Result, nk)
+		for ki, k := range kinds {
+			res[k] = results[wi*nk+ki]
 		}
-		out[w.Name] = res
+		out[opts.Workloads[wi].Name] = res
 	}
 	return out
 }
@@ -152,10 +320,18 @@ func sweep(opts Options, kinds ...SchemeKind) map[string]map[SchemeKind]ooo.Resu
 // speedup returns b.IPC / a.IPC.
 func speedup(a, b ooo.Result) float64 { return stats.Ratio(b.IPC, a.IPC) }
 
-// geomeanSpeedup aggregates over workloads.
+// geomeanSpeedup aggregates over workloads. It iterates in sorted name
+// order so the floating-point accumulation — and with it the printed
+// geomean — is deterministic across runs and job counts.
 func geomeanSpeedup(results map[string]map[SchemeKind]ooo.Result, base, other SchemeKind) float64 {
-	var xs []float64
-	for _, r := range results {
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	xs := make([]float64, 0, len(names))
+	for _, n := range names {
+		r := results[n]
 		xs = append(xs, speedup(r[base], r[other]))
 	}
 	return stats.Geomean(xs)

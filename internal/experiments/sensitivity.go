@@ -15,11 +15,14 @@ import (
 var sensitivityWorkloads = []string{"lammps", "omnetpp", "eembc", "soplex", "gobmk", "leela"}
 
 // acbGeomean runs baseline vs the given ACB configuration over the subset
-// and returns the geomean speedup.
+// on the worker pool and returns the geomean speedup. Each job owns one
+// workload (its baseline and ACB simulations run back to back), and
+// speedups land in per-job slots so the geomean accumulates in a fixed
+// order regardless of scheduling.
 func acbGeomean(opts *Options, cfg core.Config, names []string) float64 {
-	var sp []float64
-	for _, n := range names {
-		w, err := workload.ByName(n)
+	sp := make([]float64, len(names))
+	runPool(opts, len(names), func(i int) {
+		w, err := workload.ByName(names[i])
 		if err != nil {
 			panic(err)
 		}
@@ -34,9 +37,17 @@ func acbGeomean(opts *Options, cfg core.Config, names []string) float64 {
 		if err != nil {
 			panic(err)
 		}
-		sp = append(sp, stats.Ratio(res.IPC, bres.IPC))
-	}
+		sp[i] = stats.Ratio(res.IPC, bres.IPC)
+	})
 	return stats.Geomean(sp)
+}
+
+// ACBGeomean is the exported form of the baseline-vs-configuration sweep:
+// the bench harness's ablation benchmarks run their variants through it
+// so they share the worker pool and its runner stats.
+func ACBGeomean(opts Options, cfg core.Config, names []string) float64 {
+	opts.fill()
+	return acbGeomean(&opts, cfg, names)
 }
 
 // SensitivityN reproduces the paper's sweep of the convergence-learning
@@ -106,26 +117,28 @@ func SensitivityPredictor(opts Options) *stats.Table {
 		"tage":       func() bpu.Predictor { return bpu.NewTAGE(bpu.DefaultTAGEConfig()) },
 	}
 	for _, name := range []string{"bimodal", "gshare", "perceptron", "tage"} {
-		var ipcs, sp []float64
-		for _, n := range sensitivityWorkloads {
-			w, err := workload.ByName(n)
+		newPred := mk[name]
+		ipcs := make([]float64, len(sensitivityWorkloads))
+		sp := make([]float64, len(sensitivityWorkloads))
+		runPool(&opts, len(sensitivityWorkloads), func(i int) {
+			w, err := workload.ByName(sensitivityWorkloads[i])
 			if err != nil {
 				panic(err)
 			}
 			p, m := w.Build()
-			base := ooo.NewWithMemory(opts.Config, p, mk[name](), nil, m.Clone())
+			base := ooo.NewWithMemory(opts.Config, p, newPred(), nil, m.Clone())
 			bres, err := base.Run(opts.Budget)
 			if err != nil {
 				panic(err)
 			}
-			c := ooo.NewWithMemory(opts.Config, p, mk[name](), core.New(core.DefaultConfig()), m.Clone())
+			c := ooo.NewWithMemory(opts.Config, p, newPred(), core.New(core.DefaultConfig()), m.Clone())
 			res, err := c.Run(opts.Budget)
 			if err != nil {
 				panic(err)
 			}
-			ipcs = append(ipcs, bres.IPC)
-			sp = append(sp, stats.Ratio(res.IPC, bres.IPC))
-		}
+			ipcs[i] = bres.IPC
+			sp[i] = stats.Ratio(res.IPC, bres.IPC)
+		})
 		t.AddRow(name, stats.Geomean(ipcs), stats.Geomean(sp))
 	}
 	return t

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -105,29 +106,54 @@ func (t *Table) AddRow(cells ...interface{}) {
 	t.Rows = append(t.Rows, row)
 }
 
-// SortByColumn sorts rows by the numeric (falling back to string) value of
-// the given column index.
+// cellFloat parses a cell as a float. Unlike Sscanf("%g") it rejects
+// garbage-suffixed cells like "1.2x" instead of silently reading 1.2.
+func cellFloat(cell string) (float64, bool) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+	return v, err == nil
+}
+
+// SortByColumn sorts rows by the numeric value of the given column;
+// numeric rows come first in ascending order, non-numeric rows (and rows
+// too short to have the column) follow in string order.
 func (t *Table) SortByColumn(col int) {
-	sort.SliceStable(t.Rows, func(i, j int) bool {
-		var a, b float64
-		_, errA := fmt.Sscanf(t.Rows[i][col], "%g", &a)
-		_, errB := fmt.Sscanf(t.Rows[j][col], "%g", &b)
-		if errA == nil && errB == nil {
-			return a < b
+	cell := func(row []string) string {
+		if col < 0 || col >= len(row) {
+			return ""
 		}
-		return t.Rows[i][col] < t.Rows[j][col]
+		return row[col]
+	}
+	sort.SliceStable(t.Rows, func(i, j int) bool {
+		ci, cj := cell(t.Rows[i]), cell(t.Rows[j])
+		a, okA := cellFloat(ci)
+		b, okB := cellFloat(cj)
+		switch {
+		case okA && okB:
+			return a < b
+		case okA != okB:
+			return okA
+		default:
+			return ci < cj
+		}
 	})
 }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns. Rows may have more cells
+// than the header; extra columns get their own widths.
 func (t *Table) String() string {
-	widths := make([]int, len(t.Header))
+	ncols := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > ncols {
+			ncols = len(row)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}
@@ -154,14 +180,30 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values.
+// CSV renders the table as RFC 4180 comma-separated values: cells
+// containing a comma, quote or line break are quoted, with embedded
+// quotes doubled.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Header, ","))
-	b.WriteByte('\n')
-	for _, row := range t.Rows {
-		b.WriteString(strings.Join(row, ","))
+	writeRec := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvCell(c))
+		}
 		b.WriteByte('\n')
 	}
+	writeRec(t.Header)
+	for _, row := range t.Rows {
+		writeRec(row)
+	}
 	return b.String()
+}
+
+func csvCell(c string) string {
+	if !strings.ContainsAny(c, ",\"\n\r") {
+		return c
+	}
+	return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
 }

@@ -99,10 +99,43 @@ func TestTableFormatting(t *testing.T) {
 	}
 }
 
+// TestTableRaggedRows: rows with more cells than the header used to
+// panic String() with an index-out-of-range (widths was sized to the
+// header).
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("x", "y", "extra-cell")
+	tb.AddRow("longer-than-header", "v")
+	s := tb.String()
+	if !strings.Contains(s, "extra-cell") {
+		t.Fatalf("extra cell dropped: %q", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), s)
+	}
+}
+
 func TestTableCSV(t *testing.T) {
 	tb := NewTable("a", "b")
 	tb.AddRow(1, 2)
 	want := "a,b\n1,2\n"
+	if got := tb.CSV(); got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+}
+
+// TestTableCSVQuoting: cells containing commas, quotes or line breaks
+// must be RFC-4180 quoted (workload "Mirrors" strings contain commas).
+func TestTableCSVQuoting(t *testing.T) {
+	tb := NewTable("workload", "mirrors")
+	tb.AddRow("omnetpp", "history pollution, recovered by PBH")
+	tb.AddRow("quoted", `says "hi"`)
+	tb.AddRow("multiline", "a\nb")
+	want := "workload,mirrors\n" +
+		"omnetpp,\"history pollution, recovered by PBH\"\n" +
+		"quoted,\"says \"\"hi\"\"\"\n" +
+		"multiline,\"a\nb\"\n"
 	if got := tb.CSV(); got != want {
 		t.Fatalf("csv = %q, want %q", got, want)
 	}
@@ -116,5 +149,24 @@ func TestTableSortByColumn(t *testing.T) {
 	tb.SortByColumn(1)
 	if tb.Rows[0][0] != "a" || tb.Rows[1][0] != "c" || tb.Rows[2][0] != "b" {
 		t.Fatalf("sorted rows: %v", tb.Rows)
+	}
+}
+
+// TestTableSortByColumnGarbage: garbage-suffixed cells like "1.2x" are
+// not numbers (Sscanf "%g" used to read them as 1.2); they sort after the
+// numeric rows, in string order.
+func TestTableSortByColumnGarbage(t *testing.T) {
+	tb := NewTable("k", "v")
+	tb.AddRow("garbage-hi", "9.9x")
+	tb.AddRow("big", "10.0")
+	tb.AddRow("garbage-lo", "0.1x")
+	tb.AddRow("small", "2.0")
+	tb.SortByColumn(1)
+	got := []string{tb.Rows[0][0], tb.Rows[1][0], tb.Rows[2][0], tb.Rows[3][0]}
+	want := []string{"small", "big", "garbage-lo", "garbage-hi"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted rows: %v, want %v", got, want)
+		}
 	}
 }

@@ -150,7 +150,11 @@ func (s *Spec) BuildTrain() ([]isa.Instruction, *isa.Memory) {
 	return s.build(true)
 }
 
-func (s *Spec) build(train bool) ([]isa.Instruction, *isa.Memory) {
+func (sp *Spec) build(train bool) ([]isa.Instruction, *isa.Memory) {
+	// Work on a copy: Build must not write defaults back into the shared
+	// Spec, since the parallel experiment runner builds the same workload
+	// from several goroutines at once.
+	s := *sp
 	if s.Period == 0 {
 		s.Period = 4096
 	}
