@@ -1,0 +1,227 @@
+// Command acbd is the simulation service daemon and its client.
+//
+// Serve mode runs the scheduler, content-addressed result store and HTTP
+// API from internal/service:
+//
+//	acbd serve -addr :8315 -store-dir /var/lib/acbd -workers 2
+//
+// Client mode submits one experiment to a running daemon and (with
+// -wait) polls it to completion and prints the result table:
+//
+//	acbd submit -addr http://localhost:8315 -experiment fig6 -workloads lammps,gobmk -wait -format ascii
+//
+// See docs/SERVICE.md for the API.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"acb/internal/service"
+	"acb/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serve(os.Args[2:])
+	case "submit":
+		err = submit(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "acbd: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acbd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  acbd serve  [-addr :8315] [-store-dir DIR] [-store-cap N] [-queue N] [-workers N] [-jobs N] [-drain-timeout D]
+  acbd submit [-addr URL] -experiment NAME [-workloads a,b] [-budget N] [-config NAME] [-wait] [-format json|csv|ascii]
+`)
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("acbd serve", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", ":8315", "HTTP listen address")
+		storeDir = fs.String("store-dir", "", "directory for the on-disk result tier (empty = memory only)")
+		storeCap = fs.Int("store-cap", 256, "tables held in the in-memory LRU tier")
+		queue    = fs.Int("queue", 64, "bounded job-queue depth (backpressure beyond it)")
+		workers  = fs.Int("workers", 1, "jobs running concurrently")
+		simJobs  = fs.Int("jobs", 0, "concurrent simulations per job (0 = GOMAXPROCS)")
+		drain    = fs.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain budget before cancelling running jobs")
+		verbose  = fs.Bool("v", false, "per-job progress on stderr")
+	)
+	fs.Parse(args)
+
+	store, err := service.NewStore(*storeCap, *storeDir)
+	if err != nil {
+		return err
+	}
+	cfg := service.SchedulerConfig{
+		QueueDepth: *queue,
+		Workers:    *workers,
+		SimJobs:    *simJobs,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, a ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+	sched := service.NewScheduler(cfg, store)
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(sched).Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "acbd: listening on %s (store-dir=%q workers=%d queue=%d)\n",
+			*addr, *storeDir, *workers, *queue)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "acbd: %v: draining (timeout %s)\n", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting HTTP first, then drain the scheduler; the
+	// write-through store has nothing left to persist afterwards.
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "acbd: http shutdown: %v\n", err)
+	}
+	if err := sched.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w (running jobs were cancelled)", err)
+	}
+	fmt.Fprintln(os.Stderr, "acbd: drained cleanly")
+	return nil
+}
+
+func submit(args []string) error {
+	fs := flag.NewFlagSet("acbd submit", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", "http://localhost:8315", "daemon base URL")
+		exp       = fs.String("experiment", "", "experiment name (required; see acbsweep -h)")
+		workloads = fs.String("workloads", "", "comma-separated workload subset (default: full suite)")
+		budget    = fs.Int64("budget", 0, "retired-instruction budget per simulation (0 = server default)")
+		cfgName   = fs.String("config", "", "core configuration (default skylake)")
+		wait      = fs.Bool("wait", false, "poll the job to completion and print the result table")
+		format    = fs.String("format", "json", "result rendering with -wait: json | csv | ascii")
+		interval  = fs.Duration("poll-interval", 250*time.Millisecond, "poll period with -wait")
+	)
+	fs.Parse(args)
+	if *exp == "" {
+		return errors.New("submit: -experiment is required")
+	}
+
+	req := service.Request{Experiment: *exp, Budget: *budget, Config: *cfgName}
+	if *workloads != "" {
+		for _, n := range strings.Split(*workloads, ",") {
+			req.Workloads = append(req.Workloads, strings.TrimSpace(n))
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	base := strings.TrimRight(*addr, "/")
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var job service.JobStatus
+	if err := decode(resp, &job); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "acbd: job %s %s (key %s)\n", job.ID, job.State, job.ResultKey)
+	if !*wait {
+		return json.NewEncoder(os.Stdout).Encode(job)
+	}
+
+	for job.State == service.JobQueued || job.State == service.JobRunning {
+		time.Sleep(*interval)
+		resp, err := http.Get(base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			return err
+		}
+		if err := decode(resp, &job); err != nil {
+			return err
+		}
+	}
+	if job.State != service.JobDone {
+		return fmt.Errorf("submit: job %s %s: %s", job.ID, job.State, job.Error)
+	}
+
+	resp, err = http.Get(base + "/v1/results/" + job.ResultKey)
+	if err != nil {
+		return err
+	}
+	var tab stats.Table
+	if err := decode(resp, &tab); err != nil {
+		return err
+	}
+	switch *format {
+	case "json":
+		b, err := json.Marshal(&tab)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+	case "csv":
+		fmt.Print(tab.CSV())
+	case "ascii":
+		fmt.Print(tab.String())
+	default:
+		return fmt.Errorf("submit: unknown format %q", *format)
+	}
+	return nil
+}
+
+// decode reads an API response, turning non-2xx statuses into errors.
+func decode(resp *http.Response, v interface{}) error {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var ae struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(b, &ae) == nil && ae.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, ae.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	return json.Unmarshal(b, v)
+}

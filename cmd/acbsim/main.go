@@ -4,7 +4,11 @@
 // Usage:
 //
 //	acbsim -workload lammps -scheme acb -budget 1000000
-//	acbsim -workload omnetpp -scheme dmp -config future
+//	acbsim -workload omnetpp -scheme dmp -config future -format json
+//
+// -format ascii (the default) prints the full human-readable report;
+// json and csv emit the run's metric/value summary table through the
+// same stats.Table serialization acbsweep and the acbd API use.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"acb/internal/core"
 	"acb/internal/dmp"
 	"acb/internal/ooo"
+	"acb/internal/stats"
 	"acb/internal/workload"
 )
 
@@ -28,27 +33,22 @@ func main() {
 		budget    = flag.Int64("budget", 1_000_000, "retired-instruction budget")
 		cfgName   = flag.String("config", "skylake", "skylake | skylake-2x | skylake-3x | future")
 		predName  = flag.String("predictor", "tage", "tage | gshare | bimodal | perceptron")
+		format    = flag.String("format", "ascii", "output rendering: json | csv | ascii")
 		topN      = flag.Int("top", 10, "print the N most-mispredicting branch PCs")
 		pipe      = flag.Bool("pipestats", false, "collect and print pipeline utilization")
 	)
 	flag.Parse()
 
+	if *format != "ascii" && *format != "json" && *format != "csv" {
+		fail(fmt.Errorf("unknown format %q (want json, csv or ascii)", *format))
+	}
 	w, err := workload.ByName(*name)
 	if err != nil {
 		fail(err)
 	}
-	var cfg config.Core
-	switch *cfgName {
-	case "skylake":
-		cfg = config.Skylake()
-	case "skylake-2x":
-		cfg = config.Scaled(2)
-	case "skylake-3x":
-		cfg = config.Scaled(3)
-	case "future":
-		cfg = config.Future()
-	default:
-		fail(fmt.Errorf("unknown config %q", *cfgName))
+	cfg, err := config.ByName(*cfgName)
+	if err != nil {
+		fail(err)
 	}
 
 	p, m := w.Build()
@@ -108,6 +108,20 @@ func main() {
 		fail(err)
 	}
 
+	if *format != "ascii" {
+		t := resultTable(&w, cfg, predictor, &res)
+		if *format == "json" {
+			b, err := t.MarshalJSON()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(string(b))
+		} else {
+			fmt.Print(t.CSV())
+		}
+		return
+	}
+
 	fmt.Printf("workload      %s (%s) — %s\n", w.Name, w.Category, w.Mirrors)
 	fmt.Printf("config        %s   predictor %s   scheme %s\n", cfg.Name, predictor.Name(), res.Scheme)
 	fmt.Printf("retired       %d in %d cycles  (IPC %.3f)\n", res.Retired, res.Cycles, res.IPC)
@@ -152,6 +166,39 @@ func main() {
 				r.pc, r.st.Count, r.st.Mispredict, r.st.Predicated, r.st.Diverged)
 		}
 	}
+}
+
+// resultTable flattens one run into a metric/value stats.Table for the
+// json and csv formats.
+func resultTable(w *workload.Workload, cfg config.Core, pred bpu.Predictor, res *ooo.Result) *stats.Table {
+	t := stats.NewTable("metric", "value")
+	t.AddRow("workload", w.Name)
+	t.AddRow("category", w.Category)
+	t.AddRow("config", cfg.Name)
+	t.AddRow("predictor", pred.Name())
+	t.AddRow("scheme", res.Scheme)
+	t.AddRow("retired", res.Retired)
+	t.AddRow("cycles", res.Cycles)
+	t.AddRow("ipc", res.IPC)
+	t.AddRow("cond-branches", res.CondBranches)
+	t.AddRow("mispredicts", res.Mispredicts)
+	t.AddRow("mispredicts-per-kilo", res.MispredPerKilo())
+	t.AddRow("flushes", res.Flushes)
+	t.AddRow("flushes-per-kilo", res.FlushPerKilo())
+	t.AddRow("divergence-flushes", res.DivFlushes)
+	t.AddRow("predications", res.Predications)
+	t.AddRow("select-uops", res.SelectUops)
+	t.AddRow("transparent-ops", res.TransparentOps)
+	t.AddRow("invalidated-mem", res.InvalidatedMem)
+	t.AddRow("allocations", res.Allocations)
+	t.AddRow("wrong-path-allocations", res.WrongPathAllocs)
+	t.AddRow("alloc-stall-slots", res.AllocStallSlots)
+	t.AddRow("l1d-hits", res.L1Hits)
+	t.AddRow("l1d-misses", res.L1Misses)
+	t.AddRow("llc-hits", res.LLCHits)
+	t.AddRow("llc-misses", res.LLCMisses)
+	t.AddRow("load-forwards", res.LoadForwards)
+	return t
 }
 
 func fail(err error) {

@@ -4,10 +4,10 @@
 // Usage:
 //
 //	acbsweep -experiment fig6 -budget 400000
-//	acbsweep -experiment all -csv
+//	acbsweep -experiment all -format csv
 //
 // Experiments: fig1 fig6 fig7 fig8 fig9 fig10 fig11 scaling power census
-// table1 table3 all.
+// table1 table3 all (plus sens-* and multirecon; see -h).
 package main
 
 import (
@@ -25,16 +25,25 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("experiment", "all", "experiment to run (fig1 fig6 fig7 fig8 fig9 fig10 fig11 scaling power census sens-n sens-epoch sens-acbtable sens-critical sens-predictor multirecon table1 table2 table3 all)")
+		exp       = flag.String("experiment", "all", "experiment to run ("+strings.Join(experiments.Names(), " ")+" all)")
 		budget    = flag.Int64("budget", 400_000, "retired-instruction budget per simulation")
 		names     = flag.String("workloads", "", "comma-separated workload subset (default: full suite)")
 		jobs      = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
-		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		format    = flag.String("format", "ascii", "table rendering: json | csv | ascii")
+		csv       = flag.Bool("csv", false, "deprecated alias for -format csv")
 		plot      = flag.Bool("plot", false, "render ASCII charts alongside the tables")
 		verbose   = flag.Bool("v", false, "per-run progress and runner stats on stderr")
 		listNames = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
+	if *csv {
+		*format = "csv"
+	}
+	render := renderer(*format)
+	if render == nil {
+		fmt.Fprintf(os.Stderr, "unknown format %q (want json, csv or ascii)\n", *format)
+		os.Exit(1)
+	}
 
 	if *listNames {
 		for _, w := range workload.All() {
@@ -65,49 +74,18 @@ func main() {
 		}
 	}
 
-	type entry struct {
-		name string
-		run  func() *stats.Table
-	}
-	all := []entry{
-		{"table1", func() *stats.Table { return experiments.TableI() }},
-		{"table2", func() *stats.Table { return experiments.TableII() }},
-		{"table3", func() *stats.Table { return experiments.TableIII() }},
-		{"fig1", func() *stats.Table { return experiments.Figure1(opts) }},
-		{"fig6", func() *stats.Table { return experiments.Figure6(opts) }},
-		{"fig7", func() *stats.Table { return experiments.Figure7(opts) }},
-		{"fig8", func() *stats.Table { return experiments.Figure8(opts) }},
-		{"fig9", func() *stats.Table { return experiments.Figure9(opts) }},
-		{"fig10", func() *stats.Table { return experiments.Figure10(opts) }},
-		{"fig11", func() *stats.Table { return experiments.Figure11(opts) }},
-		{"scaling", func() *stats.Table { return experiments.CoreScaling(opts) }},
-		{"power", func() *stats.Table { return experiments.PowerProxy(opts) }},
-		{"census", func() *stats.Table { return experiments.MispredictCensus(opts) }},
-		{"sens-n", func() *stats.Table { return experiments.SensitivityN(opts) }},
-		{"sens-epoch", func() *stats.Table { return experiments.SensitivityEpoch(opts) }},
-		{"sens-acbtable", func() *stats.Table { return experiments.SensitivityACBTable(opts) }},
-		{"sens-critical", func() *stats.Table { return experiments.SensitivityCriticalTable(opts) }},
-		{"sens-predictor", func() *stats.Table { return experiments.SensitivityPredictor(opts) }},
-		{"multirecon", func() *stats.Table { return experiments.MultiRecon(opts) }},
-	}
-
 	ran := false
-	for _, e := range all {
-		extra := strings.HasPrefix(e.name, "sens-") || e.name == "multirecon"
-		if *exp != e.name && !(*exp == "all" && !extra) {
+	for _, e := range experiments.Experiments() {
+		if *exp != e.Name && !(*exp == "all" && !e.Extra) {
 			continue
 		}
 		ran = true
-		fmt.Printf("== %s ==\n", e.name)
-		t := e.run()
-		if *csv {
-			fmt.Print(t.CSV())
-		} else {
-			fmt.Print(t.String())
-		}
+		fmt.Printf("== %s ==\n", e.Name)
+		t := e.Func(opts)
+		fmt.Print(render(t))
 		if *plot {
 			fmt.Println()
-			fmt.Print(renderPlot(e.name, t))
+			fmt.Print(renderPlot(e.Name, t))
 		}
 		fmt.Println()
 	}
@@ -118,6 +96,29 @@ func main() {
 	if *verbose && runStats.Jobs() > 0 {
 		fmt.Fprintf(os.Stderr, "runner total: %s\n", runStats)
 	}
+}
+
+// renderer returns the table-to-string function for a -format value (nil
+// for an unknown format). JSON goes through stats.Table.MarshalJSON — the
+// same serialization the acbd API serves, so a piped `acbsweep -format
+// json` and a `GET /v1/results/{key}` are interchangeable.
+func renderer(format string) func(*stats.Table) string {
+	switch format {
+	case "json":
+		return func(t *stats.Table) string {
+			b, err := t.MarshalJSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return string(b) + "\n"
+		}
+	case "csv":
+		return (*stats.Table).CSV
+	case "ascii":
+		return (*stats.Table).String
+	}
+	return nil
 }
 
 // renderPlot draws an ASCII chart for the figure tables that benefit from

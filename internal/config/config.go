@@ -3,7 +3,29 @@
 // Table II) and the scaled-up variants used by Fig. 1 and Section V-D.
 package config
 
-import "acb/internal/mem"
+import (
+	"fmt"
+
+	"acb/internal/mem"
+)
+
+// ByName resolves a configuration by CLI/API name: "skylake" (alias
+// "skylake-1x"), "skylake-2x", "skylake-3x", or "future" (alias
+// "future-8wide"). acbsim, acbd and the service request parser all share
+// this mapping.
+func ByName(name string) (Core, error) {
+	switch name {
+	case "", "skylake", "skylake-1x":
+		return Skylake(), nil
+	case "skylake-2x":
+		return Scaled(2), nil
+	case "skylake-3x":
+		return Scaled(3), nil
+	case "future", "future-8wide":
+		return Future(), nil
+	}
+	return Core{}, fmt.Errorf("config: unknown configuration %q", name)
+}
 
 // Core holds the micro-architectural parameters of a simulated core.
 type Core struct {

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -46,6 +47,11 @@ type Options struct {
 	// Stats, when non-nil, accumulates runner totals across every pool
 	// executed with these Options (acbsweep prints it after an -all run).
 	Stats *RunnerStats
+	// Context, when non-nil, cancels the run cooperatively: queued
+	// simulations are skipped and in-flight ones stop mid-run (see
+	// ooo.Core.RunContext). Callers must go through Run to observe the
+	// cancellation as an error; direct experiment calls panic instead.
+	Context context.Context
 }
 
 // DefaultOptions returns the budget and configuration used by the bench
@@ -72,6 +78,9 @@ func (o *Options) fill() {
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...interface{}) {}
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
 	}
 	// Serialise the sink: parallel jobs emit whole lines, never
 	// interleaved mid-line.
@@ -109,33 +118,64 @@ func (s *RunnerStats) Jobs() int64 {
 	return s.jobs
 }
 
+// Wall returns the cumulative wall-clock time across pools.
+func (s *RunnerStats) Wall() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wall
+}
+
+// Sim returns the cumulative single-threaded simulation time.
+func (s *RunnerStats) Sim() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sim
+}
+
 // Speedup returns cumulative simulation time / wall time (1.0 for a
-// serial run, approaching the worker count under ideal scaling).
-func (s *RunnerStats) Speedup() float64 {
+// serial run, approaching the worker count under ideal scaling). The
+// second return is false when no wall time has accumulated yet — i.e.
+// there is no measurement, as opposed to a measured 0x.
+func (s *RunnerStats) Speedup() (float64, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wall <= 0 {
-		return 0
+		return 0, false
 	}
-	return float64(s.sim) / float64(s.wall)
+	return float64(s.sim) / float64(s.wall), true
 }
 
 func (s *RunnerStats) String() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sp := 0.0
+	sp := "n/a (no runs)"
 	if s.wall > 0 {
-		sp = float64(s.sim) / float64(s.wall)
+		sp = fmt.Sprintf("%.2fx", float64(s.sim)/float64(s.wall))
 	}
-	return fmt.Sprintf("%d jobs, wall %s, sim %s, effective speedup %.2fx",
+	return fmt.Sprintf("%d jobs, wall %s, sim %s, effective speedup %s",
 		s.jobs, s.wall.Round(time.Millisecond), s.sim.Round(time.Millisecond), sp)
 }
+
+// poolError carries the first job failure out of a pool. It wraps the
+// underlying error (rather than flattening it to a string) so callers —
+// experiments.Run in particular — can errors.Is it against
+// context.Canceled / DeadlineExceeded after recovering the re-panic.
+type poolError struct {
+	job int
+	err error
+}
+
+func (e *poolError) Error() string { return fmt.Sprintf("experiments: job %d: %v", e.job, e.err) }
+func (e *poolError) Unwrap() error { return e.err }
 
 // runPool executes jobs 0..n-1 with at most opts.Jobs running at once.
 // Each job writes into its own pre-allocated result slot, so aggregation
 // order — and therefore every emitted table — is independent of
 // scheduling. A panic in any job is re-raised on the caller's goroutine
-// after the pool drains.
+// after the pool drains (as a *poolError when the job panicked with an
+// error). When opts.Context is cancelled, not-yet-started jobs are
+// skipped, leaving their result slots zero — callers must treat a
+// cancelled context as poisoning the whole pool's output.
 func runPool(opts *Options, n int, run func(i int)) {
 	if n == 0 {
 		return
@@ -147,14 +187,22 @@ func runPool(opts *Options, n int, run func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	start := time.Now()
 	var sim atomic.Int64
-	var panicked atomic.Value
+	var panicked atomic.Pointer[poolError]
 	timed := func(i int) {
 		defer func() {
 			if r := recover(); r != nil {
-				panicked.CompareAndSwap(nil, fmt.Sprintf("experiments: job %d: %v", i, r))
+				err, ok := r.(error)
+				if !ok {
+					err = fmt.Errorf("%v", r)
+				}
+				panicked.CompareAndSwap(nil, &poolError{job: i, err: err})
 			}
 		}()
 		t0 := time.Now()
@@ -164,6 +212,9 @@ func runPool(opts *Options, n int, run func(i int)) {
 
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
 			timed(i)
 		}
 	} else {
@@ -175,7 +226,7 @@ func runPool(opts *Options, n int, run func(i int)) {
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
-					if i >= n {
+					if i >= n || ctx.Err() != nil {
 						return
 					}
 					timed(i)
@@ -199,7 +250,7 @@ func runPool(opts *Options, n int, run func(i int)) {
 			n, workers, wall.Round(time.Millisecond), simTotal.Round(time.Millisecond), sp)
 	}
 	if p := panicked.Load(); p != nil {
-		panic(p)
+		panic(error(p))
 	}
 }
 
@@ -288,9 +339,12 @@ func runOne(opts *Options, cache *profileCache, w *workload.Workload, kind Schem
 	}
 
 	c := ooo.NewWithMemory(opts.Config, p, predictor, scheme, m)
-	res, err := c.Run(opts.Budget)
+	res, err := c.RunContext(opts.Context, opts.Budget)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %s/%s: %v", w.Name, kind, err))
+		// Panic with the wrapped error (not a flattened string): runPool
+		// re-raises it and experiments.Run recovers it, so a context
+		// cancellation stays errors.Is-able all the way up.
+		panic(fmt.Errorf("experiments: %s/%s: %w", w.Name, kind, err))
 	}
 	opts.Logf("%-12s %-12s IPC=%.3f flushes/k=%.2f", w.Name, kind, res.IPC, res.FlushPerKilo())
 	return res

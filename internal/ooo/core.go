@@ -14,6 +14,7 @@
 package ooo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -268,9 +269,26 @@ func NewWithMemory(cfg config.Core, program []isa.Instruction, predictor bpu.Pre
 // ErrDeadlock is returned when the pipeline makes no forward progress.
 var ErrDeadlock = errors.New("ooo: pipeline deadlock")
 
+// ctxCheckInterval is how many cycles elapse between context-cancellation
+// polls in RunContext. ctx.Err() takes a mutex on derived contexts, so the
+// retire loop amortizes it; at typical simulated IPCs this bounds the
+// cancellation latency to well under a millisecond of wall time.
+const ctxCheckInterval = 1 << 12
+
 // Run simulates until the program halts or maxRetired instructions have
 // retired, and returns the run's statistics.
 func (c *Core) Run(maxRetired int64) (Result, error) {
+	return c.RunContext(context.Background(), maxRetired)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled
+// (or times out) mid-simulation the run stops within ctxCheckInterval
+// cycles and returns the statistics accumulated so far together with an
+// error wrapping ctx.Err(). A nil ctx means context.Background().
+func (c *Core) RunContext(ctx context.Context, maxRetired int64) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if c.commitMem == nil {
 		c.commitMem = isa.NewMemory()
 	}
@@ -278,6 +296,12 @@ func (c *Core) Run(maxRetired int64) (Result, error) {
 	var stuck int64
 	halted := false
 	for c.retired < maxRetired {
+		if c.cycle%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return c.result(halted), fmt.Errorf("ooo: run cancelled at cycle %d (retired=%d): %w",
+					c.cycle, c.retired, err)
+			}
+		}
 		c.cycle++
 		h := c.stepCycle()
 		if h {

@@ -1,0 +1,67 @@
+package ooo
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"acb/internal/bpu"
+	"acb/internal/config"
+)
+
+// TestRunContextCancelledBeforeStart: a pre-cancelled context stops the
+// run before any instruction retires.
+func TestRunContextCancelledBeforeStart(t *testing.T) {
+	p, m := buildLoopHammock(1_000_000)
+	c := NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), nil, m)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := c.RunContext(ctx, 1_000_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Retired != 0 {
+		t.Fatalf("retired %d instructions under a cancelled context", res.Retired)
+	}
+}
+
+// TestRunContextCancelMidRun: cancelling mid-simulation halts the core
+// well before its retired-instruction budget is exhausted, and the
+// returned statistics reflect the partial run.
+func TestRunContextCancelMidRun(t *testing.T) {
+	const budget = 200_000_000 // far beyond what milliseconds can retire
+	p, m := buildLoopHammock(budget)
+	c := NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), nil, m)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	res, err := c.RunContext(ctx, budget)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Retired == 0 || res.Retired >= budget {
+		t.Fatalf("retired = %d, want a partial run (0 < retired < %d)", res.Retired, budget)
+	}
+	if res.Halted {
+		t.Fatal("cancelled run reported Halted")
+	}
+}
+
+// TestRunContextNilAndBackground: nil and background contexts must not
+// change Run's behaviour.
+func TestRunContextNilAndBackground(t *testing.T) {
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		p, m := buildLoopHammock(200)
+		c := NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), nil, m)
+		res, err := c.RunContext(ctx, 50_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Halted {
+			t.Fatalf("ctx=%v: short program did not halt", ctx)
+		}
+	}
+}

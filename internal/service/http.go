@@ -1,0 +1,190 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Server is the stdlib-only HTTP front end over a Scheduler.
+//
+// API (see docs/SERVICE.md):
+//
+//	POST   /v1/jobs          submit a Request; 201 new, 200 dedup/cache hit, 429 queue full
+//	GET    /v1/jobs          list jobs in submission order
+//	GET    /v1/jobs/{id}     one job's status
+//	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	GET    /v1/results/{key} stored table (?format=json|csv|ascii, default json)
+//	GET    /v1/metrics       Prometheus text metrics
+//	GET    /v1/healthz       liveness
+type Server struct {
+	sched *Scheduler
+}
+
+// NewServer returns a server over sched.
+func NewServer(sched *Scheduler) *Server { return &Server{sched: sched} }
+
+// Scheduler returns the underlying scheduler.
+func (srv *Server) Scheduler() *Scheduler { return srv.sched }
+
+// Handler builds the route table.
+func (srv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", srv.handleHealthz)
+	mux.HandleFunc("POST /v1/jobs", srv.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", srv.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", srv.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", srv.handleCancelJob)
+	mux.HandleFunc("GET /v1/results/{key}", srv.handleGetResult)
+	mux.HandleFunc("GET /v1/metrics", srv.handleMetrics)
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (srv *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// submitResponse is the POST /v1/jobs reply: the job snapshot plus
+// whether this submission created the job or coalesced onto prior work.
+type submitResponse struct {
+	JobStatus
+	Deduped bool `json:"deduped"`
+}
+
+func (srv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	st, created, err := srv.sched.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusOK // dedup or cache hit: nothing new scheduled
+	if created && !st.CacheHit {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, submitResponse{JobStatus: st, Deduped: !created})
+}
+
+func (srv *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": srv.sched.Jobs()})
+}
+
+func (srv *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	st, err := srv.sched.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (srv *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	st, err := srv.sched.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (srv *Server) handleGetResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	tab, ok := srv.sched.Store().Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no result for key %q", key))
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		// json.Marshal(tab), not the indenting encoder: the bytes must be
+		// identical to what any other client of Table.MarshalJSON sees.
+		b, err := json.Marshal(tab)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		fmt.Fprint(w, tab.CSV())
+	case "ascii":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, tab.String())
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("service: unknown format %q (want json, csv or ascii)", format))
+	}
+}
+
+// handleMetrics emits Prometheus text exposition (version 0.0.4).
+func (srv *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	gauge := func(name, help string, v interface{}) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(&b, "# HELP acbd_jobs Jobs by lifecycle state.\n# TYPE acbd_jobs gauge\n")
+	counts := srv.sched.JobCounts()
+	for _, st := range States {
+		fmt.Fprintf(&b, "acbd_jobs{state=%q} %d\n", st, counts[st])
+	}
+	gauge("acbd_queue_depth", "Jobs waiting in the bounded queue.", srv.sched.QueueDepth())
+
+	fmt.Fprintf(&b, "# HELP acbd_events_total Monotonic scheduler events.\n# TYPE acbd_events_total counter\n")
+	c := srv.sched.Counters()
+	for _, name := range c.Names() {
+		fmt.Fprintf(&b, "acbd_events_total{event=%q} %d\n", name, c.Get(name))
+	}
+
+	hits, misses := srv.sched.Store().Stats()
+	fmt.Fprintf(&b, "# HELP acbd_store_lookups_total Result-store lookups.\n# TYPE acbd_store_lookups_total counter\n")
+	fmt.Fprintf(&b, "acbd_store_lookups_total{outcome=\"hit\"} %d\n", hits)
+	fmt.Fprintf(&b, "acbd_store_lookups_total{outcome=\"miss\"} %d\n", misses)
+	gauge("acbd_store_entries", "Tables resident in the memory tier.", srv.sched.Store().Len())
+
+	rs := srv.sched.RunnerStats()
+	gauge("acbd_simulations_total", "Simulations dispatched onto the worker pool.", rs.Jobs())
+	gauge("acbd_sim_seconds_total", "Cumulative single-threaded simulation seconds.", rs.Sim().Seconds())
+	gauge("acbd_wall_seconds_total", "Cumulative pool wall-clock seconds.", rs.Wall().Seconds())
+	// Emitted only once a measurement exists: "no runs yet" is the
+	// metric's absence, not a fake 0x.
+	if sp, ok := rs.Speedup(); ok {
+		gauge("acbd_effective_speedup", "Cumulative sim/wall ratio of the worker pool.", fmt.Sprintf("%.4f", sp))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}

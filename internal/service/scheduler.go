@@ -1,0 +1,396 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"acb/internal/experiments"
+	"acb/internal/stats"
+)
+
+// JobState is a job's lifecycle state.
+type JobState string
+
+// Job lifecycle: Queued -> Running -> Done | Failed | Cancelled, with a
+// direct Queued -> Cancelled edge and a direct -> Done edge for cache
+// hits (no simulation runs at all).
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// States lists every job state (metrics emit a gauge per state).
+var States = []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCancelled}
+
+// Sentinel errors, mapped onto HTTP statuses by the API layer.
+var (
+	ErrQueueFull    = errors.New("service: job queue full")
+	ErrShuttingDown = errors.New("service: scheduler shutting down")
+	ErrUnknownJob   = errors.New("service: unknown job")
+)
+
+// Job is one scheduled experiment. All mutable fields are guarded by the
+// scheduler's mutex; read them through Status.
+type Job struct {
+	ID      string
+	Key     string
+	Request Request
+
+	state    JobState
+	err      string
+	cacheHit bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	cancel context.CancelFunc
+	// done is closed on entry to any terminal state.
+	done chan struct{}
+}
+
+// JobStatus is the JSON snapshot of a job served by the API. Started and
+// Finished are nil until the job reaches the corresponding state.
+type JobStatus struct {
+	ID         string     `json:"id"`
+	State      JobState   `json:"state"`
+	Experiment string     `json:"experiment"`
+	Request    Request    `json:"request"`
+	ResultKey  string     `json:"result_key"`
+	CacheHit   bool       `json:"cache_hit,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	Created    time.Time  `json:"created"`
+	Started    *time.Time `json:"started,omitempty"`
+	Finished   *time.Time `json:"finished,omitempty"`
+}
+
+// SchedulerConfig configures a Scheduler.
+type SchedulerConfig struct {
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// submissions beyond it fail fast with ErrQueueFull (backpressure
+	// instead of unbounded memory). Default 64.
+	QueueDepth int
+	// Workers is the number of jobs running concurrently. Default 1: a
+	// single experiment already fans its simulations out over SimJobs
+	// workers, so more job-level concurrency mostly helps mixed tiny/huge
+	// queues.
+	Workers int
+	// SimJobs is the per-job simulation parallelism passed through to
+	// experiments.Options.Jobs (0 = GOMAXPROCS).
+	SimJobs int
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...interface{})
+}
+
+// Scheduler owns the job table, the bounded queue and the worker pool.
+type Scheduler struct {
+	cfg      SchedulerConfig
+	store    *Store
+	runStats *experiments.RunnerStats
+	counters *stats.Counters
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *Job
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string        // submission order, for listing
+	inflight map[string]*Job // result key -> queued/running job (single-flight)
+	nextID   int64
+	closed   bool
+}
+
+// NewScheduler starts a scheduler with cfg's worker pool over the given
+// store.
+func NewScheduler(cfg SchedulerConfig, store *Store) *Scheduler {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:        cfg,
+		store:      store,
+		runStats:   &experiments.RunnerStats{},
+		counters:   stats.NewCounters(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
+	}
+	s.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Store returns the scheduler's result store.
+func (s *Scheduler) Store() *Store { return s.store }
+
+// RunnerStats returns the cumulative experiment-runner totals.
+func (s *Scheduler) RunnerStats() *experiments.RunnerStats { return s.runStats }
+
+// Counters returns the scheduler's monotonic counters (submitted,
+// deduped, cache_hits, simulated, done, failed, cancelled).
+func (s *Scheduler) Counters() *stats.Counters { return s.counters }
+
+// Submit schedules req. Returns the job snapshot and whether a new job
+// was created: an in-flight identical request coalesces onto the
+// existing job (single-flight) and a stored result completes immediately
+// as a cache hit without touching the queue. Backpressure: ErrQueueFull
+// when the queue is at capacity.
+func (s *Scheduler) Submit(req Request) (JobStatus, bool, error) {
+	key, err := req.Key() // validates and canonicalizes req
+	if err != nil {
+		return JobStatus{}, false, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobStatus{}, false, ErrShuttingDown
+	}
+	if prior := s.inflight[key]; prior != nil {
+		s.counters.Add("deduped", 1)
+		return s.statusLocked(prior), false, nil
+	}
+
+	s.counters.Add("submitted", 1)
+	job := &Job{
+		ID:      fmt.Sprintf("j%06d", s.nextID+1),
+		Key:     key,
+		Request: req,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+
+	if _, ok := s.store.Get(key); ok {
+		// Served entirely from the store: record a terminal job so the
+		// client can poll/fetch it like any other.
+		s.nextID++
+		job.state = JobDone
+		job.cacheHit = true
+		job.finished = job.created
+		close(job.done)
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+		s.counters.Add("cache_hits", 1)
+		s.counters.Add("done", 1)
+		return s.statusLocked(job), true, nil
+	}
+
+	job.state = JobQueued
+	select {
+	case s.queue <- job:
+	default:
+		return JobStatus{}, false, ErrQueueFull
+	}
+	s.nextID++
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.inflight[key] = job
+	s.cfg.Logf("acbd: %s queued: %s key=%.12s", job.ID, req.Experiment, key)
+	return s.statusLocked(job), true, nil
+}
+
+// Job returns the snapshot of the identified job.
+func (s *Scheduler) Job(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	return s.statusLocked(job), nil
+}
+
+// Jobs returns every job snapshot in submission order.
+func (s *Scheduler) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// Cancel requests cancellation of the identified job: a queued job is
+// cancelled on the spot (its queue slot is skipped by the worker), a
+// running job's simulation context is cancelled and the job reaches the
+// cancelled state once the core stops. Terminal jobs are left untouched.
+func (s *Scheduler) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	switch job.state {
+	case JobQueued:
+		s.finishLocked(job, JobCancelled, "cancelled while queued")
+	case JobRunning:
+		if job.cancel != nil {
+			job.cancel()
+		}
+	}
+	return s.statusLocked(job), nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done.
+func (s *Scheduler) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	select {
+	case <-job.done:
+		return s.Job(id)
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+}
+
+// QueueDepth returns the number of jobs waiting in the queue.
+func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+
+// JobCounts returns a gauge of jobs per state.
+func (s *Scheduler) JobCounts() map[JobState]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[JobState]int, len(States))
+	for _, st := range States {
+		out[st] = 0
+	}
+	for _, job := range s.jobs {
+		out[job.state]++
+	}
+	return out
+}
+
+// Shutdown stops accepting submissions and drains: queued and running
+// jobs complete normally. If ctx expires first, the remaining jobs'
+// simulation contexts are cancelled and Shutdown returns ctx.Err() once
+// they have unwound. The write-through store needs no separate persist
+// step.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closed
+	if !already {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+func (s *Scheduler) runJob(job *Job) {
+	s.mu.Lock()
+	if job.state != JobQueued { // cancelled while queued
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	job.state = JobRunning
+	job.started = time.Now()
+	job.cancel = cancel
+	s.mu.Unlock()
+	defer cancel()
+
+	opts, err := job.Request.options(s.cfg.SimJobs, s.runStats)
+	var tab *stats.Table
+	if err == nil {
+		opts.Context = ctx
+		opts.Logf = s.cfg.Logf
+		tab, err = experiments.Run(job.Request.Experiment, opts)
+	}
+	if err == nil {
+		s.counters.Add("simulated", 1)
+		if perr := s.store.Put(job.Key, job.Request, tab); perr != nil {
+			s.cfg.Logf("acbd: %s: persist: %v", job.ID, perr)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case err == nil:
+		s.finishLocked(job, JobDone, "")
+	case errors.Is(err, context.Canceled):
+		s.finishLocked(job, JobCancelled, err.Error())
+	default:
+		s.finishLocked(job, JobFailed, err.Error())
+	}
+}
+
+// finishLocked moves job into a terminal state. Caller holds s.mu.
+func (s *Scheduler) finishLocked(job *Job, state JobState, errMsg string) {
+	job.state = state
+	job.err = errMsg
+	job.finished = time.Now()
+	if s.inflight[job.Key] == job {
+		delete(s.inflight, job.Key)
+	}
+	close(job.done)
+	s.counters.Add(string(state), 1)
+	s.cfg.Logf("acbd: %s %s (%s)", job.ID, state, job.Request.Experiment)
+}
+
+func (s *Scheduler) statusLocked(job *Job) JobStatus {
+	st := JobStatus{
+		ID:         job.ID,
+		State:      job.state,
+		Experiment: job.Request.Experiment,
+		Request:    job.Request,
+		ResultKey:  job.Key,
+		CacheHit:   job.cacheHit,
+		Error:      job.err,
+		Created:    job.created,
+	}
+	if !job.started.IsZero() {
+		t := job.started
+		st.Started = &t
+	}
+	if !job.finished.IsZero() {
+		t := job.finished
+		st.Finished = &t
+	}
+	return st
+}

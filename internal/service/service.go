@@ -1,0 +1,137 @@
+// Package service turns the one-shot experiment harness into a
+// long-running simulation daemon: a job scheduler that dispatches
+// experiment requests onto the internal/experiments worker pool with
+// single-flight deduplication, a content-addressed result store with an
+// in-memory LRU tier and an optional on-disk JSON tier, and a
+// stdlib-only HTTP API (cmd/acbd) in front of both.
+//
+// The unit of work is a Request: one named experiment (see
+// experiments.Experiments) on a workload subset, budget and core
+// configuration. Requests are content-addressed — Key hashes the
+// canonical form together with the simulator version — so identical work
+// is deduplicated while in flight and served from the store forever
+// after, making a re-run of `fig6` after a sweep a cache hit instead of
+// thirty simulations.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"acb/internal/config"
+	"acb/internal/experiments"
+	"acb/internal/workload"
+)
+
+// SimVersion is folded into every result key. Bump it whenever simulator
+// or workload semantics change in a way that alters results: old store
+// entries then miss instead of serving stale tables.
+const SimVersion = "acb-sim/1"
+
+// DefaultBudget is the per-simulation retired-instruction budget applied
+// to requests that leave Budget zero (matching experiments.Options).
+const DefaultBudget = 400_000
+
+// Request describes one experiment job.
+type Request struct {
+	// Experiment is a registry name, e.g. "fig6" (see acbsweep -h).
+	Experiment string `json:"experiment"`
+	// Workloads is a workload-name subset; empty means the full suite.
+	Workloads []string `json:"workloads,omitempty"`
+	// Budget is the retired-instruction budget per simulation
+	// (DefaultBudget when zero).
+	Budget int64 `json:"budget,omitempty"`
+	// Config names the core configuration ("skylake" when empty).
+	Config string `json:"config,omitempty"`
+	// Seed is reserved for future stochastic workloads; today every
+	// workload is seed-deterministic and Seed only perturbs the key.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// normalize applies defaults and canonicalizes the request in place so
+// that equivalent requests hash identically.
+func (r *Request) normalize() error {
+	if _, ok := experiments.Lookup(r.Experiment); !ok {
+		return fmt.Errorf("service: unknown experiment %q", r.Experiment)
+	}
+	if r.Budget < 0 {
+		return fmt.Errorf("service: negative budget %d", r.Budget)
+	}
+	if r.Budget == 0 {
+		r.Budget = DefaultBudget
+	}
+	for i, n := range r.Workloads {
+		if _, err := workload.ByName(n); err != nil {
+			return fmt.Errorf("service: %v", err)
+		}
+		r.Workloads[i] = n
+	}
+	cfg, err := config.ByName(r.Config)
+	if err != nil {
+		return fmt.Errorf("service: %v", err)
+	}
+	// Canonical name, so "skylake" and "skylake-1x" share a key.
+	r.Config = cfg.Name
+	return nil
+}
+
+// keyEnvelope is the hashed form of a request. Workload order is
+// preserved, not sorted: row order of the resulting table depends on it.
+type keyEnvelope struct {
+	Version    string   `json:"version"`
+	Experiment string   `json:"experiment"`
+	Workloads  []string `json:"workloads"`
+	Budget     int64    `json:"budget"`
+	Config     string   `json:"config"`
+	Seed       int64    `json:"seed"`
+}
+
+// Key validates and canonicalizes the request and returns its
+// content-address: hex(SHA-256(canonical JSON || SimVersion)).
+func (r *Request) Key() (string, error) {
+	if err := r.normalize(); err != nil {
+		return "", err
+	}
+	env := keyEnvelope{
+		Version:    SimVersion,
+		Experiment: r.Experiment,
+		Workloads:  r.Workloads,
+		Budget:     r.Budget,
+		Config:     r.Config,
+		Seed:       r.Seed,
+	}
+	if env.Workloads == nil {
+		env.Workloads = []string{}
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// options translates the request into experiment-harness options. jobs
+// bounds the per-job simulation parallelism; stats (optional) accumulates
+// runner totals for /v1/metrics.
+func (r *Request) options(jobs int, stats *experiments.RunnerStats) (experiments.Options, error) {
+	opts := experiments.DefaultOptions()
+	opts.Budget = r.Budget
+	opts.Jobs = jobs
+	opts.Stats = stats
+	cfg, err := config.ByName(r.Config)
+	if err != nil {
+		return opts, err
+	}
+	opts.Config = cfg
+	for _, n := range r.Workloads {
+		w, err := workload.ByName(n)
+		if err != nil {
+			return opts, err
+		}
+		opts.Workloads = append(opts.Workloads, w)
+	}
+	return opts, nil
+}

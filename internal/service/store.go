@@ -1,0 +1,204 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"acb/internal/stats"
+)
+
+// Store is the content-addressed result store: an in-memory LRU tier in
+// front of an optional on-disk JSON tier. Keys are Request.Key hashes, so
+// a stored table is valid for every equivalent request under the current
+// SimVersion. Writes go through to disk immediately (atomic
+// temp-file-and-rename), which makes graceful shutdown persistence a
+// no-op and lets a crashed daemon restart warm.
+type Store struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	byKey  map[string]*list.Element
+	dir    string // "" disables the disk tier
+	hits   int64  // memory + disk hits
+	misses int64
+}
+
+type storeEntry struct {
+	key string
+	tab *stats.Table
+}
+
+// storedResult is the on-disk envelope for one result file
+// (<dir>/<key>.json). The version field guards against key-scheme drift:
+// files written under another SimVersion are ignored at read time.
+type storedResult struct {
+	Version string       `json:"version"`
+	Key     string       `json:"key"`
+	Request Request      `json:"request"`
+	Table   *stats.Table `json:"table"`
+}
+
+// NewStore returns a store holding at most capacity tables in memory
+// (minimum 1), persisting through to dir when dir is non-empty.
+func NewStore(capacity int, dir string) (*Store, error) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: store dir: %w", err)
+		}
+	}
+	return &Store{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element),
+		dir:   dir,
+	}, nil
+}
+
+// Get returns the table stored under key. A miss in memory falls through
+// to the disk tier and promotes the loaded table; only a miss in both
+// tiers counts as a miss. Keys that are not 64-hex-char hashes (i.e. not
+// produced by Request.Key) always miss.
+func (s *Store) Get(key string) (*stats.Table, bool) {
+	if !validKey(key) {
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	if el, ok := s.byKey[key]; ok {
+		s.ll.MoveToFront(el)
+		s.hits++
+		tab := el.Value.(*storeEntry).tab
+		s.mu.Unlock()
+		return tab, true
+	}
+	s.mu.Unlock()
+
+	if tab := s.load(key); tab != nil {
+		s.mu.Lock()
+		s.hits++
+		s.insertLocked(key, tab)
+		s.mu.Unlock()
+		return tab, true
+	}
+
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+	return nil, false
+}
+
+// Put stores the table under key in both tiers. Callers must not mutate
+// the table afterwards.
+func (s *Store) Put(key string, req Request, tab *stats.Table) error {
+	if !validKey(key) {
+		return fmt.Errorf("service: refusing to store malformed key %q", key)
+	}
+	var diskErr error
+	if s.dir != "" {
+		diskErr = s.persist(key, req, tab)
+	}
+	s.mu.Lock()
+	s.insertLocked(key, tab)
+	s.mu.Unlock()
+	return diskErr
+}
+
+// insertLocked adds or refreshes the memory-tier entry and evicts beyond
+// capacity. Evicted tables remain readable through the disk tier.
+func (s *Store) insertLocked(key string, tab *stats.Table) {
+	if el, ok := s.byKey[key]; ok {
+		el.Value.(*storeEntry).tab = tab
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.byKey[key] = s.ll.PushFront(&storeEntry{key: key, tab: tab})
+	for s.ll.Len() > s.cap {
+		back := s.ll.Back()
+		s.ll.Remove(back)
+		delete(s.byKey, back.Value.(*storeEntry).key)
+	}
+}
+
+// Len returns the number of memory-tier entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Stats returns cumulative (hits, misses).
+func (s *Store) Stats() (hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// validKey rejects anything but the hex hashes Request.Key produces, so
+// a store key can never traverse outside the store directory.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	return strings.IndexFunc(key, func(r rune) bool {
+		return !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f')
+	}) < 0
+}
+
+// load reads one result from the disk tier; nil on any miss, version
+// mismatch, or decode error (a corrupt file is a miss, not a failure).
+// Callers have already validated the key.
+func (s *Store) load(key string) *stats.Table {
+	if s.dir == "" {
+		return nil
+	}
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil
+	}
+	var sr storedResult
+	if err := json.Unmarshal(b, &sr); err != nil || sr.Version != SimVersion || sr.Table == nil {
+		return nil
+	}
+	return sr.Table
+}
+
+// persist writes one result file atomically. Callers have already
+// validated the key.
+func (s *Store) persist(key string, req Request, tab *stats.Table) error {
+	b, err := json.MarshalIndent(storedResult{
+		Version: SimVersion,
+		Key:     key,
+		Request: req,
+		Table:   tab,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, "."+key+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path(key))
+}

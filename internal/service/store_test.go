@@ -1,0 +1,178 @@
+package service
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"acb/internal/stats"
+)
+
+func testKey(b byte) string {
+	return strings.Repeat(string([]byte{'a' + b%6}), 64)
+}
+
+func testTable(name string) *stats.Table {
+	t := stats.NewTable("k", "v")
+	t.AddRow(name, 1.5)
+	return t
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s, err := NewStore(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0, k1, k2 := testKey(0), testKey(1), testKey(2)
+	s.Put(k0, Request{}, testTable("t0"))
+	s.Put(k1, Request{}, testTable("t1"))
+	if _, ok := s.Get(k0); !ok { // touch k0: k1 becomes LRU
+		t.Fatal("k0 missing")
+	}
+	s.Put(k2, Request{}, testTable("t2"))
+	if _, ok := s.Get(k1); ok {
+		t.Fatal("k1 survived eviction past capacity")
+	}
+	if _, ok := s.Get(k0); !ok {
+		t.Fatal("recently-used k0 was evicted")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	hits, misses := s.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", hits, misses)
+	}
+}
+
+// TestStoreDiskTier: entries evicted from memory — and entries written by
+// an earlier store instance — are served from disk; corrupt or
+// wrong-version files are misses, not failures.
+func TestStoreDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0, k1 := testKey(0), testKey(1)
+	tab := testTable("persisted")
+	if err := s.Put(k0, Request{Experiment: "fig6"}, tab); err != nil {
+		t.Fatal(err)
+	}
+	s.Put(k1, Request{}, testTable("evictor")) // evicts k0 from memory
+
+	got, ok := s.Get(k0)
+	if !ok {
+		t.Fatal("disk tier miss after memory eviction")
+	}
+	if got.String() != tab.String() {
+		t.Fatalf("disk round trip changed the table:\n%s\nvs\n%s", got.String(), tab.String())
+	}
+
+	// A fresh store over the same directory starts warm.
+	s2, err := NewStore(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(k0); !ok {
+		t.Fatal("restart lost the persisted result")
+	}
+
+	// Corrupt file: miss, not error.
+	bad := testKey(3)
+	if err := os.WriteFile(filepath.Join(dir, bad+".json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(bad); ok {
+		t.Fatal("corrupt file served as a result")
+	}
+
+	// Version mismatch: miss.
+	stale := testKey(4)
+	b, _ := json.Marshal(storedResult{Version: "acb-sim/0", Key: stale, Table: testTable("old")})
+	if err := os.WriteFile(filepath.Join(dir, stale+".json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(stale); ok {
+		t.Fatal("stale-version file served as a result")
+	}
+}
+
+// TestStoreRejectsMalformedKeys: only 64-hex-char keys reach the
+// filesystem, so API-supplied keys cannot traverse out of the store dir.
+func TestStoreRejectsMalformedKeys(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "short", "../../etc/passwd", strings.Repeat("Z", 64)} {
+		if _, ok := s.Get(key); ok {
+			t.Fatalf("Get(%q) hit", key)
+		}
+		if err := s.Put(key, Request{}, testTable("x")); err == nil {
+			t.Fatalf("Put(%q) persisted", key)
+		}
+	}
+}
+
+// TestRequestKeyCanonical: equivalent requests share a key; different
+// work gets different keys.
+func TestRequestKeyCanonical(t *testing.T) {
+	base := Request{Experiment: "fig6", Workloads: []string{"lammps"}, Budget: 1000, Config: "skylake"}
+	k1, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alias := Request{Experiment: "fig6", Workloads: []string{"lammps"}, Budget: 1000, Config: "skylake-1x"}
+	k2, err := alias.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("config alias changed the key")
+	}
+	if !validKey(k1) {
+		t.Fatalf("key %q is not a 64-hex-char hash", k1)
+	}
+
+	for _, other := range []Request{
+		{Experiment: "fig7", Workloads: []string{"lammps"}, Budget: 1000},
+		{Experiment: "fig6", Workloads: []string{"gobmk"}, Budget: 1000},
+		{Experiment: "fig6", Workloads: []string{"lammps"}, Budget: 2000},
+		{Experiment: "fig6", Workloads: []string{"lammps"}, Budget: 1000, Config: "future"},
+		{Experiment: "fig6", Workloads: []string{"lammps"}, Budget: 1000, Seed: 7},
+	} {
+		k, err := other.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == k1 {
+			t.Fatalf("distinct request %+v collided with base key", other)
+		}
+	}
+
+	// Defaulted budget is canonical with the explicit default.
+	d1 := Request{Experiment: "table1"}
+	d2 := Request{Experiment: "table1", Budget: DefaultBudget}
+	ka, _ := d1.Key()
+	kb, _ := d2.Key()
+	if ka != kb {
+		t.Fatal("default budget is not canonical")
+	}
+}
+
+func TestRequestKeyRejectsJunk(t *testing.T) {
+	for _, req := range []Request{
+		{Experiment: "nope"},
+		{Experiment: "fig6", Workloads: []string{"nope"}},
+		{Experiment: "fig6", Config: "nope"},
+		{Experiment: "fig6", Budget: -1},
+	} {
+		if _, err := req.Key(); err == nil {
+			t.Fatalf("Key accepted %+v", req)
+		}
+	}
+}

@@ -3,15 +3,20 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
-// Counters is a named-counter bag with stable ordering for reports.
+// Counters is a named-counter bag with stable ordering for reports. It is
+// safe for concurrent use: results flow through the concurrent service
+// and the parallel experiment runner.
 type Counters struct {
+	mu     sync.Mutex
 	names  []string
 	values map[string]int64
 }
@@ -23,6 +28,8 @@ func NewCounters() *Counters {
 
 // Add increments the named counter by delta, creating it at zero first.
 func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.values[name]; !ok {
 		c.names = append(c.names, name)
 	}
@@ -30,10 +37,16 @@ func (c *Counters) Add(name string, delta int64) {
 }
 
 // Get returns the value of the named counter (zero if absent).
-func (c *Counters) Get(name string) int64 { return c.values[name] }
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.values[name]
+}
 
 // Names returns the counter names in insertion order.
 func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]string, len(c.names))
 	copy(out, c.names)
 	return out
@@ -41,6 +54,8 @@ func (c *Counters) Names() []string {
 
 // String formats all counters, one per line.
 func (c *Counters) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var b strings.Builder
 	for _, n := range c.names {
 		fmt.Fprintf(&b, "%-32s %12d\n", n, c.values[n])
@@ -178,6 +193,41 @@ func (t *Table) String() string {
 		writeRow(row)
 	}
 	return b.String()
+}
+
+// tableJSON is the wire form of a Table. Header and rows are JSON arrays,
+// so marshalling preserves column and row order exactly — the acbd
+// service's content-addressed store round-trips tables through this and
+// must reproduce them byte-identically.
+type tableJSON struct {
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// MarshalJSON encodes the table as {"header":[...],"rows":[[...]]} with
+// order preserved; nil slices encode as empty arrays, never null, so the
+// encoding of a table is canonical.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	w := tableJSON{Header: t.Header, Rows: t.Rows}
+	if w.Header == nil {
+		w.Header = []string{}
+	}
+	if w.Rows == nil {
+		w.Rows = [][]string{}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a table marshalled by MarshalJSON, preserving
+// header and row order.
+func (t *Table) UnmarshalJSON(b []byte) error {
+	var w tableJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	t.Header = w.Header
+	t.Rows = w.Rows
+	return nil
 }
 
 // CSV renders the table as RFC 4180 comma-separated values: cells

@@ -1,8 +1,13 @@
 package stats
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"math"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -22,6 +27,40 @@ func TestCounters(t *testing.T) {
 	s := c.String()
 	if !strings.Contains(s, "a") || !strings.Contains(s, "4") {
 		t.Fatalf("string output: %q", s)
+	}
+}
+
+// TestCountersConcurrent hammers one bag from many goroutines (run under
+// -race in CI): every mutator and reader must be safe to interleave, and
+// the totals must come out exact.
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Add("shared", 1)
+				c.Add(fmt.Sprintf("g%d", g), 2)
+				_ = c.Get("shared")
+				_ = c.Names()
+				_ = c.String()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Get("shared"); got != goroutines*perG {
+		t.Fatalf("shared = %d, want %d", got, goroutines*perG)
+	}
+	for g := 0; g < goroutines; g++ {
+		if got := c.Get(fmt.Sprintf("g%d", g)); got != 2*perG {
+			t.Fatalf("g%d = %d, want %d", g, got, 2*perG)
+		}
+	}
+	if len(c.Names()) != goroutines+1 {
+		t.Fatalf("names = %v", c.Names())
 	}
 }
 
@@ -138,6 +177,58 @@ func TestTableCSVQuoting(t *testing.T) {
 		"multiline,\"a\nb\"\n"
 	if got := tb.CSV(); got != want {
 		t.Fatalf("csv = %q, want %q", got, want)
+	}
+}
+
+// TestTableJSONRoundTrip: marshalling preserves header and row order
+// exactly, and unmarshal(marshal(t)) reproduces the table — including its
+// String/CSV renderings — byte for byte.
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := NewTable("workload", "speedup", "note")
+	tb.AddRow("zeta", 1.25, "last name first")
+	tb.AddRow("alpha", 0.975, `commas, "quotes", and
+newlines`)
+	tb.AddRow("mid", 42)
+
+	b, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Header, tb.Header) || !reflect.DeepEqual(got.Rows, tb.Rows) {
+		t.Fatalf("round trip changed the table:\n got %+v\nwant %+v", got, *tb)
+	}
+	if got.String() != tb.String() || got.CSV() != tb.CSV() {
+		t.Fatal("round trip changed the rendered output")
+	}
+	b2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatalf("re-marshal not byte-identical:\n%s\n%s", b, b2)
+	}
+}
+
+// TestTableJSONEmpty: empty tables encode with empty arrays, not null,
+// and survive the round trip.
+func TestTableJSONEmpty(t *testing.T) {
+	b, err := json.Marshal(&Table{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"header":[],"rows":[]}`; string(b) != want {
+		t.Fatalf("empty table = %s, want %s", b, want)
+	}
+	var got Table
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Header) != 0 || len(got.Rows) != 0 {
+		t.Fatalf("round trip of empty table: %+v", got)
 	}
 }
 
