@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -59,7 +60,7 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  acbd serve  [-addr :8315] [-store-dir DIR] [-store-cap N] [-queue N] [-workers N] [-jobs N] [-drain-timeout D]
+  acbd serve  [-addr :8315] [-store-dir DIR] [-store-cap N] [-queue N] [-workers N] [-jobs N] [-drain-timeout D] [-debug-addr :6060]
   acbd submit [-addr URL] -experiment NAME [-workloads a,b] [-budget N] [-config NAME] [-wait] [-format json|csv|ascii]
 `)
 }
@@ -74,6 +75,7 @@ func serve(args []string) error {
 		workers  = fs.Int("workers", 1, "jobs running concurrently")
 		simJobs  = fs.Int("jobs", 0, "concurrent simulations per job (0 = GOMAXPROCS)")
 		drain    = fs.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain budget before cancelling running jobs")
+		debug    = fs.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled; keep it off the service port)")
 		verbose  = fs.Bool("v", false, "per-job progress on stderr")
 	)
 	fs.Parse(args)
@@ -94,6 +96,20 @@ func serve(args []string) error {
 	}
 	sched := service.NewScheduler(cfg, store)
 	srv := &http.Server{Addr: *addr, Handler: service.NewServer(sched).Handler()}
+
+	// pprof rides on its own listener so the profiling surface never
+	// shares a port with the public API. The net/http/pprof import
+	// registers onto http.DefaultServeMux, which nothing else uses.
+	var dbgSrv *http.Server
+	if *debug != "" {
+		dbgSrv = &http.Server{Addr: *debug, Handler: http.DefaultServeMux}
+		go func() {
+			fmt.Fprintf(os.Stderr, "acbd: pprof on %s\n", *debug)
+			if err := dbgSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "acbd: pprof server: %v\n", err)
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -119,6 +135,9 @@ func serve(args []string) error {
 	// write-through store has nothing left to persist afterwards.
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "acbd: http shutdown: %v\n", err)
+	}
+	if dbgSrv != nil {
+		_ = dbgSrv.Shutdown(ctx)
 	}
 	if err := sched.Shutdown(ctx); err != nil {
 		return fmt.Errorf("drain: %w (running jobs were cancelled)", err)

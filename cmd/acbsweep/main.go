@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"acb/internal/experiments"
+	"acb/internal/ooo"
 	"acb/internal/stats"
 	"acb/internal/viz"
 	"acb/internal/workload"
@@ -140,6 +141,27 @@ func renderPlot(name string, t *stats.Table) string {
 		for _, row := range t.Rows {
 			if v, ok := parse(row[1]); ok {
 				c.Add(row[0], v)
+			}
+		}
+		return c.String()
+	case "cpistack":
+		c := &viz.StackedBar{
+			Title:  "CPI stack (share of cycles per bucket)",
+			Series: ooo.CPIBucketNames,
+		}
+		for _, row := range t.Rows {
+			vals := make([]float64, 0, len(row)-3)
+			ok := true
+			for _, cell := range row[3:] {
+				v, parsed := parse(cell)
+				if !parsed {
+					ok = false
+					break
+				}
+				vals = append(vals, v)
+			}
+			if ok {
+				c.Add(row[0]+"/"+row[1], vals...)
 			}
 		}
 		return c.String()

@@ -1,13 +1,16 @@
 // Command acbtrace inspects workloads statically and through the
 // Fields-style critical-path model: disassembly, hammock/reconvergence
 // analysis, and the fraction of mispredictions that actually lie on the
-// critical path (the paper's Sec. II-A motivation).
+// critical path (the paper's Sec. II-A motivation). Trace mode runs the
+// cycle-level core with event tracing on and exports the pipeline events
+// (dual-fetch windows, flushes, gate decisions) for chrome://tracing.
 //
 // Usage:
 //
 //	acbtrace -workload soplex -mode critpath
 //	acbtrace -workload gcc -mode disasm
 //	acbtrace -workload gcc -mode hammocks
+//	acbtrace -workload astar -mode trace -format chrome -o trace.json
 package main
 
 import (
@@ -15,17 +18,25 @@ import (
 	"fmt"
 	"os"
 
+	"acb/internal/bpu"
+	"acb/internal/config"
+	"acb/internal/core"
 	"acb/internal/critpath"
+	"acb/internal/ooo"
 	"acb/internal/prog"
 	"acb/internal/workload"
 )
 
 func main() {
 	var (
-		name  = flag.String("workload", "gcc", "workload name")
-		mode  = flag.String("mode", "critpath", "disasm | hammocks | critpath | attribute | export")
-		out   = flag.String("o", "", "output file for export mode (default stdout)")
-		steps = flag.Int64("steps", 200_000, "trace length for critpath mode")
+		name   = flag.String("workload", "gcc", "workload name")
+		mode   = flag.String("mode", "critpath", "disasm | hammocks | critpath | attribute | export | trace")
+		out    = flag.String("o", "", "output file for export/trace modes (default stdout)")
+		steps  = flag.Int64("steps", 200_000, "trace length for critpath mode")
+		budget = flag.Int64("budget", 400_000, "retired-instruction budget for trace mode")
+		format = flag.String("format", "chrome", "trace mode output: chrome | text")
+		scheme = flag.String("scheme", "acb", "trace mode scheme: acb | baseline")
+		cap    = flag.Int("trace-cap", ooo.DefaultTraceCap, "event-ring capacity for trace mode (oldest events drop beyond it)")
 	)
 	flag.Parse()
 
@@ -98,6 +109,59 @@ func main() {
 		for _, s := range att.TopExecutors(8) {
 			fmt.Printf("  pc=%-5d  %-28s %8d cycles  %5.1f%%\n",
 				s.PC, p[s.PC].String(), s.Cycles, s.Share*100)
+		}
+
+	case "trace":
+		var sch ooo.Scheme
+		switch *scheme {
+		case "acb":
+			sch = core.New(core.DefaultConfig())
+		case "baseline":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown scheme %q (want acb or baseline)\n", *scheme)
+			os.Exit(1)
+		}
+		c := ooo.NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), sch, m)
+		ring := c.EnableTrace(*cap)
+		if acb, ok := sch.(*core.ACB); ok {
+			acb.SetTrace(ring)
+		}
+		c.EnableCPIStack()
+		res, err := c.Run(*budget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		dst := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			dst = f
+		}
+		events := ring.Events()
+		switch *format {
+		case "chrome":
+			if err := ooo.WriteChromeTrace(dst, events); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		case "text":
+			for _, ev := range events {
+				fmt.Fprintf(dst, "cycle=%-8d %-14s pc=%-5d ctx=%-4d arg=%d\n",
+					ev.Cycle, ev.Kind, ev.PC, ev.Ctx, ev.Arg)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown format %q (want chrome or text)\n", *format)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%s/%s: %d events (%d dropped), IPC=%.3f\n",
+			w.Name, res.Scheme, len(events), ring.Dropped(), res.IPC)
+		if res.CPI != nil {
+			fmt.Fprintf(os.Stderr, "cpi stack: %s\n", res.CPI)
 		}
 
 	default:

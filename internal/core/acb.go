@@ -79,6 +79,7 @@ type ACB struct {
 	tracking *TrackingTable
 	dynamo   *Dynamo
 	stalls   *StallThrottle
+	trace    *ooo.TraceRing
 
 	retired    int64
 	windowBase int64
@@ -138,6 +139,11 @@ func (a *ACB) CriticalTable() *CriticalTable { return a.critical }
 // Dynamo exposes the monitor for tests and reports.
 func (a *ACB) Dynamo() *Dynamo { return a.dynamo }
 
+// SetTrace attaches an event ring (normally the core's, via
+// ooo.Core.EnableTrace) so gate decisions appear on the same timeline as
+// the pipeline's dual-fetch and flush events.
+func (a *ACB) SetTrace(r *ooo.TraceRing) { a.trace = r }
+
 func (a *ACB) nextRand() uint64 {
 	a.rng ^= a.rng << 13
 	a.rng ^= a.rng >> 7
@@ -154,9 +160,15 @@ func (a *ACB) ShouldPredicate(pc int, _ bool, _ int, _ uint64) (ooo.PredSpec, bo
 		return ooo.PredSpec{}, false
 	}
 	if a.cfg.UseDynamo && !a.dynamo.Allows(e) {
+		if a.trace != nil {
+			a.trace.Emit(ooo.EvGateDeny, pc, 0, ooo.GateDynamo)
+		}
 		return ooo.PredSpec{}, false
 	}
 	if a.stalls != nil && !a.stalls.Allows(pc) {
+		if a.trace != nil {
+			a.trace.Emit(ooo.EvGateDeny, pc, 0, ooo.GateStallThrottle)
+		}
 		return ooo.PredSpec{}, false
 	}
 	recon := e.ReconPC
@@ -240,6 +252,12 @@ func (a *ACB) OnBranchResolve(ev ooo.ResolveEvent) {
 			}
 		}
 		return
+	}
+
+	// Blocked stall-throttle entries only ever see non-predicated retires;
+	// these drive the decay that re-enables them after a phase change.
+	if a.stalls != nil {
+		a.stalls.ObserveRetired(ev.PC)
 	}
 
 	// Confidence counters of learned entries (Sec. III-B, "Criticality

@@ -15,6 +15,14 @@ type StallThrottle struct {
 	StallLimit float64
 	// Window is the number of predicated instances averaged per decision.
 	Window int64
+	// DecayWindow is the number of *non-predicated* retired instances of a
+	// blocked branch after which the block lifts and the entry gets a
+	// fresh measurement window. Once an entry is blocked it stops
+	// predicating, so no further Observe calls arrive for it — without
+	// this decay path a block would be permanent, contradicting the
+	// sliding-restart intent (and hiding phase changes). Defaults to
+	// Window when zero.
+	DecayWindow int64
 
 	stats map[int]*stallStat
 }
@@ -23,6 +31,9 @@ type stallStat struct {
 	instances int64
 	stalls    int64
 	blocked   bool
+	// retiredBlocked counts non-predicated retired instances seen while
+	// blocked; reaching DecayWindow unblocks the entry.
+	retiredBlocked int64
 }
 
 // NewStallThrottle returns a throttle with the given per-instance stall
@@ -31,7 +42,8 @@ func NewStallThrottle(limit float64, window int64) *StallThrottle {
 	if window <= 0 {
 		window = 64
 	}
-	return &StallThrottle{StallLimit: limit, Window: window, stats: make(map[int]*stallStat)}
+	return &StallThrottle{StallLimit: limit, Window: window, DecayWindow: window,
+		stats: make(map[int]*stallStat)}
 }
 
 // Allows reports whether the entry may still predicate.
@@ -54,6 +66,30 @@ func (s *StallThrottle) Observe(pc int, stalls int64) {
 		avg := float64(st.stalls) / float64(st.instances)
 		st.blocked = avg > s.StallLimit
 		// Sliding restart so phase changes can unblock.
+		st.instances = 0
+		st.stalls = 0
+		st.retiredBlocked = 0
+	}
+}
+
+// ObserveRetired records one retired *non-predicated* instance of the
+// branch. Blocked entries see only these (Allows suppresses predication,
+// so Observe never fires for them); after DecayWindow of them the block
+// lifts and the entry re-measures, which is what lets a phase change
+// unblock an entry.
+func (s *StallThrottle) ObserveRetired(pc int) {
+	st := s.stats[pc]
+	if st == nil || !st.blocked {
+		return
+	}
+	st.retiredBlocked++
+	window := s.DecayWindow
+	if window <= 0 {
+		window = s.Window
+	}
+	if st.retiredBlocked >= window {
+		st.blocked = false
+		st.retiredBlocked = 0
 		st.instances = 0
 		st.stalls = 0
 	}

@@ -39,6 +39,87 @@ func TestStallThrottleAllowsLightStallers(t *testing.T) {
 	}
 }
 
+// TestStallThrottleDecayUnblocks is the regression test for the
+// stuck-throttle bug: once an entry blocks, Allows suppresses predication,
+// so Observe never fires for it again and — before the decay path — the
+// block was permanent. Non-predicated retires must lift it.
+func TestStallThrottleDecayUnblocks(t *testing.T) {
+	st := NewStallThrottle(10, 4)
+	for i := 0; i < 4; i++ {
+		st.Observe(100, 50)
+	}
+	if st.Allows(100) {
+		t.Fatal("heavy staller not blocked")
+	}
+	// ObserveRetired on unknown or unblocked PCs is a no-op.
+	st.ObserveRetired(999)
+	for i := int64(0); i < st.DecayWindow-1; i++ {
+		st.ObserveRetired(100)
+	}
+	if st.Allows(100) {
+		t.Fatal("unblocked one retire early")
+	}
+	st.ObserveRetired(100)
+	if !st.Allows(100) {
+		t.Fatalf("still blocked after %d non-predicated retires", st.DecayWindow)
+	}
+	if st.Blocked() != 0 {
+		t.Fatalf("blocked count = %d after decay", st.Blocked())
+	}
+	// The entry re-measures from a fresh window: a light phase stays
+	// allowed, a heavy one re-blocks.
+	for i := 0; i < 4; i++ {
+		st.Observe(100, 1)
+	}
+	if !st.Allows(100) {
+		t.Fatal("light re-measurement window re-blocked")
+	}
+}
+
+// TestACBStallThrottleRecoversAfterPhaseChange drives the same recovery
+// through the ACB scheme interface: a blocked entry sees only
+// non-predicated resolves (ShouldPredicate is denied), and after a decay
+// window of them predication is allowed again.
+func TestACBStallThrottleRecoversAfterPhaseChange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseDynamo = false
+	cfg.ThrottleStalls = true
+	cfg.StallLimit = 5
+	a := New(cfg)
+	ring := ooo.NewTraceRing(1 << 10)
+	a.SetTrace(ring)
+	installConfident(a, 100, DynNeutral)
+
+	// Heavy-stall phase: the throttle blocks the entry.
+	for i := 0; i < 64; i++ {
+		a.OnBranchResolve(ooo.ResolveEvent{PC: 100, Predicated: true, BodyStallCycles: 100})
+	}
+	if _, ok := a.ShouldPredicate(100, false, 0, 0); ok {
+		t.Fatal("stall throttle did not block the entry")
+	}
+	denies := 0
+	for _, ev := range ring.Events() {
+		if ev.Kind == ooo.EvGateDeny && ev.Arg == ooo.GateStallThrottle {
+			denies++
+		}
+	}
+	if denies == 0 {
+		t.Fatal("denied ShouldPredicate emitted no stall-throttle gate event")
+	}
+
+	// Phase change: the branch keeps retiring non-predicated (mispredicts
+	// keep its confidence up). After the decay window the block lifts.
+	for i := int64(0); i < a.stalls.DecayWindow; i++ {
+		if _, ok := a.ShouldPredicate(100, false, 0, 0); ok {
+			t.Fatalf("entry unblocked after only %d retires", i)
+		}
+		a.OnBranchResolve(ooo.ResolveEvent{PC: 100, Predicated: false, Mispredict: true})
+	}
+	if _, ok := a.ShouldPredicate(100, false, 0, 0); !ok {
+		t.Fatal("blocked entry did not recover after a decay window of non-predicated retires")
+	}
+}
+
 func TestACBWithStallThrottle(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.UseDynamo = false

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"acb/internal/ooo"
+	"acb/internal/workload"
+)
+
+func cpiOpts(t *testing.T, jobs int) Options {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Budget = 30_000
+	opts.Jobs = jobs
+	var err error
+	for _, n := range []string{"gcc", "compression"} {
+		w, werr := workload.ByName(n)
+		if werr != nil {
+			err = werr
+			break
+		}
+		opts.Workloads = append(opts.Workloads, w)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return opts
+}
+
+// TestCPIStackTableSums checks every emitted row upholds the attributor's
+// invariant end to end: the bucket columns sum exactly to the cycles
+// column, for the baseline and the ACB scheme alike.
+func TestCPIStackTableSums(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	tab := CPIStackExperiment(cpiOpts(t, 2))
+	if len(tab.Rows) != 4 { // 2 workloads x {baseline, acb}
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	if want := 3 + len(ooo.CPIBucketNames); len(tab.Header) != want {
+		t.Fatalf("header width = %d, want %d", len(tab.Header), want)
+	}
+	for _, row := range tab.Rows {
+		cycles, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			t.Fatalf("row %v: bad cycles cell: %v", row, err)
+		}
+		var sum int64
+		for _, cell := range row[3:] {
+			v, err := strconv.ParseInt(cell, 10, 64)
+			if err != nil {
+				t.Fatalf("row %v: bad bucket cell: %v", row, err)
+			}
+			if v < 0 {
+				t.Fatalf("row %v: negative bucket %d", row, v)
+			}
+			sum += v
+		}
+		if sum != cycles {
+			t.Fatalf("%s/%s: buckets sum to %d, want %d", row[0], row[1], sum, cycles)
+		}
+	}
+}
+
+// TestCPIStackDeterministicAcrossJobs checks the emitted table is
+// byte-identical whatever the worker-pool width, like every other
+// experiment (aggregation is by job index, not completion order).
+func TestCPIStackDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	serial := CPIStackExperiment(cpiOpts(t, 1)).CSV()
+	parallel := CPIStackExperiment(cpiOpts(t, 8)).CSV()
+	if serial != parallel {
+		t.Fatalf("cpistack table differs across job counts:\n-- jobs=1 --\n%s\n-- jobs=8 --\n%s",
+			serial, parallel)
+	}
+}
+
+// TestCPIAccumulator checks Add/Merge/Snapshot bookkeeping.
+func TestCPIAccumulator(t *testing.T) {
+	a := NewCPIAccumulator()
+	a.Add("acb", &ooo.CPIStack{Cycles: 10, Base: 6, BackendStall: 4})
+	a.Add("acb", &ooo.CPIStack{Cycles: 5, Base: 5})
+
+	b := NewCPIAccumulator()
+	b.Add("baseline", &ooo.CPIStack{Cycles: 3, FrontendStarve: 3})
+	b.Merge(a)
+
+	if got := b.Schemes(); len(got) != 2 || got[0] != "acb" || got[1] != "baseline" {
+		t.Fatalf("schemes = %v", got)
+	}
+	snap := b.Snapshot()
+	acb := snap["acb"]
+	if acb.Cycles != 15 || acb.Buckets[0] != 11 || acb.Buckets[3] != 4 {
+		t.Fatalf("acb totals = %+v", acb)
+	}
+	// Snapshot is a deep copy: mutating it must not leak back.
+	acb.Buckets[0] = 999
+	if b.Snapshot()["acb"].Buckets[0] != 11 {
+		t.Fatal("snapshot aliases accumulator storage")
+	}
+}

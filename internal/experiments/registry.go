@@ -34,6 +34,7 @@ var registry = []Experiment{
 	{"scaling", false, CoreScaling},
 	{"power", false, PowerProxy},
 	{"census", false, MispredictCensus},
+	{"cpistack", false, CPIStackExperiment},
 	{"sens-n", true, SensitivityN},
 	{"sens-epoch", true, SensitivityEpoch},
 	{"sens-acbtable", true, SensitivityACBTable},

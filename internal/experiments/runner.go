@@ -47,6 +47,15 @@ type Options struct {
 	// Stats, when non-nil, accumulates runner totals across every pool
 	// executed with these Options (acbsweep prints it after an -all run).
 	Stats *RunnerStats
+	// CollectCPI enables per-cycle CPI-stack attribution on every
+	// simulation (see ooo.CPIStack); results carry it in ooo.Result.CPI.
+	// Off by default: attribution costs a few branches per simulated
+	// cycle.
+	CollectCPI bool
+	// CPIStats, when non-nil, accumulates per-scheme CPI bucket totals
+	// across every simulation run with these Options (implies
+	// CollectCPI); the acbd service exposes the totals on /v1/metrics.
+	CPIStats *CPIAccumulator
 	// Context, when non-nil, cancels the run cooperatively: queued
 	// simulations are skipped and in-flight ones stop mid-run (see
 	// ooo.Core.RunContext). Callers must go through Run to observe the
@@ -339,12 +348,18 @@ func runOne(opts *Options, cache *profileCache, w *workload.Workload, kind Schem
 	}
 
 	c := ooo.NewWithMemory(opts.Config, p, predictor, scheme, m)
+	if opts.CollectCPI || opts.CPIStats != nil {
+		c.EnableCPIStack()
+	}
 	res, err := c.RunContext(opts.Context, opts.Budget)
 	if err != nil {
 		// Panic with the wrapped error (not a flattened string): runPool
 		// re-raises it and experiments.Run recovers it, so a context
 		// cancellation stays errors.Is-able all the way up.
 		panic(fmt.Errorf("experiments: %s/%s: %w", w.Name, kind, err))
+	}
+	if opts.CPIStats != nil && res.CPI != nil {
+		opts.CPIStats.Add(res.Scheme, res.CPI)
 	}
 	opts.Logf("%-12s %-12s IPC=%.3f flushes/k=%.2f", w.Name, kind, res.IPC, res.FlushPerKilo())
 	return res

@@ -147,6 +147,8 @@ type Core struct {
 	s     runStats
 	perPC map[int]*BranchStat
 	pipe  *PipeStats
+	cpi   *CPIStack
+	trace *TraceRing
 
 	epochRetireBase int64
 }
@@ -206,6 +208,10 @@ type Result struct {
 	PerBranch map[int]*BranchStat
 	FinalRegs [isa.NumRegs]int64
 	Halted    bool
+
+	// CPI is the per-cycle attribution stack (nil unless EnableCPIStack
+	// was called before the run).
+	CPI *CPIStack
 }
 
 // MispredPerKilo returns retired mispredictions per 1000 retired
@@ -333,6 +339,9 @@ func (c *Core) stepCycle() bool {
 	if c.pipe != nil {
 		c.pipe.sample(c.rob.occupancy(), c.cfg.ROBSize, len(c.iq), c.cfg.IQSize)
 	}
+	if c.cpi != nil {
+		c.cpiAccount()
+	}
 	return halted
 }
 
@@ -361,6 +370,7 @@ func (c *Core) result(halted bool) Result {
 		LLCMisses:       c.hier.LLC.Misses(),
 		PerBranch:       c.perPC,
 		Halted:          halted,
+		CPI:             c.cpi,
 	}
 	if c.cycle > 0 {
 		res.IPC = float64(c.retired) / float64(c.cycle)

@@ -1,0 +1,242 @@
+package ooo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// EventKind classifies one structured pipeline event.
+type EventKind uint8
+
+// Event kinds. Dual-fetch open/switch/close events carry the predication
+// context id in Ctx; flush events carry the flushed branch's PC; gate
+// events carry the denied branch's PC and the gate identity in Arg.
+const (
+	EvDualFetchOpen   EventKind = iota // predication context opened (fetch override)
+	EvDualFetchSwitch                  // walk switched to the second path
+	EvReconverge                       // both paths reached the reconvergence point
+	EvDiverge                          // front end gave up on reconvergence
+	EvFlushMispredict                  // branch-mispredict pipeline flush
+	EvFlushDivergence                  // divergence pipeline flush
+	EvGateDeny                         // scheme gate (Dynamo/StallThrottle) denied predication
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvDualFetchOpen:
+		return "dual-fetch-open"
+	case EvDualFetchSwitch:
+		return "dual-fetch-switch"
+	case EvReconverge:
+		return "reconverge"
+	case EvDiverge:
+		return "diverge"
+	case EvFlushMispredict:
+		return "flush-mispredict"
+	case EvFlushDivergence:
+		return "flush-divergence"
+	case EvGateDeny:
+		return "gate-deny"
+	}
+	return fmt.Sprintf("event(%d)", k)
+}
+
+// Gate identities carried in EvGateDeny's Arg.
+const (
+	GateDynamo        int64 = 1
+	GateStallThrottle int64 = 2
+)
+
+// TraceEvent is one structured pipeline event: what happened, when (in
+// simulated cycles), to which branch PC, and in which predication context
+// (0 when none). Arg is kind-specific: the reconvergence PC for dual-fetch
+// opens, the gate identity for gate denials, the redirect PC for flushes.
+type TraceEvent struct {
+	Cycle int64
+	Kind  EventKind
+	PC    int
+	Ctx   int64
+	Arg   int64
+}
+
+// TraceRing is a bounded ring of structured pipeline events shared by the
+// core (fetch/flush events) and the predication scheme (gate decisions).
+// When full, the oldest events are dropped and counted, so a long run
+// keeps its most recent window — the part a post-mortem wants.
+type TraceRing struct {
+	buf     []TraceEvent
+	start   int
+	n       int
+	dropped int64
+	clock   func() int64
+}
+
+// DefaultTraceCap is the ring capacity EnableTrace uses.
+const DefaultTraceCap = 1 << 16
+
+// NewTraceRing returns a ring holding at most cap events (DefaultTraceCap
+// when cap <= 0). Events emitted before a clock is attached are stamped
+// with cycle 0.
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &TraceRing{buf: make([]TraceEvent, 0, capacity)}
+}
+
+// Emit appends an event stamped with the attached clock's current cycle.
+func (r *TraceRing) Emit(kind EventKind, pc int, ctx, arg int64) {
+	var cyc int64
+	if r.clock != nil {
+		cyc = r.clock()
+	}
+	ev := TraceEvent{Cycle: cyc, Kind: kind, PC: pc, Ctx: ctx, Arg: arg}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		r.n++
+		return
+	}
+	r.buf[r.start] = ev
+	r.start = (r.start + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Events returns the retained events in emission order.
+func (r *TraceRing) Events() []TraceEvent {
+	out := make([]TraceEvent, 0, len(r.buf))
+	for i := 0; i < len(r.buf); i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Dropped returns how many events the bounded ring discarded.
+func (r *TraceRing) Dropped() int64 { return r.dropped }
+
+// EnableTrace attaches a bounded event ring (capacity DefaultTraceCap when
+// cap <= 0) to the core and returns it. The ring's clock is the core's
+// cycle counter, so schemes sharing the ring stamp events consistently.
+func (c *Core) EnableTrace(capacity int) *TraceRing {
+	if c.trace == nil {
+		c.trace = NewTraceRing(capacity)
+	}
+	c.trace.clock = func() int64 { return c.cycle }
+	return c.trace
+}
+
+// Trace returns the attached event ring (nil unless enabled).
+func (c *Core) Trace() *TraceRing { return c.trace }
+
+// chromeEvent is one Chrome trace-event JSON object (the subset Perfetto
+// and chrome://tracing consume).
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   int64                  `json:"ts"`
+	Dur  int64                  `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container format ({"traceEvents": [...]}),
+// which both Perfetto and chrome://tracing load.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Chrome-trace track (tid) assignment: predication contexts as duration
+// events on one track, flushes and gate decisions as instants on others.
+const (
+	chromeTidDualFetch = 1
+	chromeTidFlush     = 2
+	chromeTidGate      = 3
+)
+
+// WriteChromeTrace renders events as Chrome trace-event JSON: dual-fetch
+// contexts become complete ("X") duration events spanning open to
+// reconvergence/divergence, flushes and gate denials become instant ("i")
+// events. One simulated cycle maps to one microsecond of trace time.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"}
+
+	// Pair dual-fetch opens with their closing event by context id.
+	type openCtx struct {
+		ev TraceEvent
+	}
+	open := make(map[int64]openCtx)
+	closeCtx := func(ctx int64, end TraceEvent, outcome string) {
+		oc, ok := open[ctx]
+		if !ok {
+			return
+		}
+		delete(open, ctx)
+		dur := end.Cycle - oc.ev.Cycle
+		if dur < 1 {
+			dur = 1
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: fmt.Sprintf("dual-fetch pc=%d", oc.ev.PC),
+			Ph:   "X", Ts: oc.ev.Cycle, Dur: dur,
+			Pid: 1, Tid: chromeTidDualFetch,
+			Args: map[string]interface{}{
+				"branch_pc": oc.ev.PC,
+				"recon_pc":  oc.ev.Arg,
+				"ctx":       ctx,
+				"outcome":   outcome,
+			},
+		})
+	}
+
+	lastCycle := int64(0)
+	for _, ev := range events {
+		if ev.Cycle > lastCycle {
+			lastCycle = ev.Cycle
+		}
+		switch ev.Kind {
+		case EvDualFetchOpen:
+			open[ev.Ctx] = openCtx{ev: ev}
+		case EvDualFetchSwitch:
+			// Folded into the enclosing X event; no separate mark.
+		case EvReconverge:
+			closeCtx(ev.Ctx, ev, "reconverged")
+		case EvDiverge:
+			closeCtx(ev.Ctx, ev, "diverged")
+		case EvFlushMispredict, EvFlushDivergence:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: ev.Kind.String(),
+				Ph:   "i", Ts: ev.Cycle, Pid: 1, Tid: chromeTidFlush, S: "t",
+				Args: map[string]interface{}{"branch_pc": ev.PC, "redirect_pc": ev.Arg},
+			})
+		case EvGateDeny:
+			gate := "dynamo"
+			if ev.Arg == GateStallThrottle {
+				gate = "stall-throttle"
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "gate-deny:" + gate,
+				Ph:   "i", Ts: ev.Cycle, Pid: 1, Tid: chromeTidGate, S: "t",
+				Args: map[string]interface{}{"branch_pc": ev.PC, "gate": gate},
+			})
+		}
+	}
+	// Contexts still open when the trace ended (or whose open was dropped
+	// from the ring) close at the last seen cycle; sorted so the emitted
+	// JSON is deterministic.
+	leftover := make([]int64, 0, len(open))
+	for ctx := range open {
+		leftover = append(leftover, ctx)
+	}
+	sort.Slice(leftover, func(i, j int) bool { return leftover[i] < leftover[j] })
+	for _, ctx := range leftover {
+		closeCtx(ctx, TraceEvent{Cycle: lastCycle + 1}, "open-at-end")
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,185 @@
+package ooo
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"acb/internal/bpu"
+	"acb/internal/config"
+	"acb/internal/isa"
+	"acb/internal/prog"
+)
+
+// hammockPCs finds the loop hammock's branch and reconvergence PCs via the
+// static analyzer, so the test tracks buildLoopHammock's exact layout.
+func hammockPCs(t *testing.T, p []isa.Instruction) (branchPC, reconPC int) {
+	t.Helper()
+	for _, hm := range prog.AnalyzeHammocks(p, 64) {
+		if hm.Simple {
+			return hm.BranchPC, hm.ReconvPC
+		}
+	}
+	t.Fatal("no simple hammock in loop-hammock program")
+	return 0, 0
+}
+
+// TestTraceRingBounded checks drop-oldest semantics: a full ring keeps the
+// most recent capacity events, in emission order, and counts what it shed.
+func TestTraceRingBounded(t *testing.T) {
+	r := NewTraceRing(4)
+	for i := 0; i < 6; i++ {
+		r.Emit(EvGateDeny, i, 0, int64(i))
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len(Events) = %d, want 4", len(evs))
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", r.Dropped())
+	}
+	for i, ev := range evs {
+		if want := int64(i + 2); ev.Arg != want {
+			t.Fatalf("event %d arg = %d, want %d (oldest two should have dropped)", i, ev.Arg, want)
+		}
+	}
+}
+
+// TestTraceRingClock checks events are stamped with the core's cycle
+// counter once EnableTrace attaches the ring.
+func TestTraceRingClock(t *testing.T) {
+	p, m := buildLoopHammock(4)
+	c := NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), nil, m)
+	if c.Trace() != nil {
+		t.Fatal("trace ring non-nil before EnableTrace")
+	}
+	r := c.EnableTrace(16)
+	c.cycle = 42
+	r.Emit(EvReconverge, 7, 1, 0)
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Cycle != 42 {
+		t.Fatalf("events = %+v, want one event at cycle 42", evs)
+	}
+}
+
+// tracePredScheme predicates exactly one branch PC with a fixed spec (the
+// in-package twin of predication_test's fixedScheme).
+type tracePredScheme struct {
+	pc   int
+	spec PredSpec
+}
+
+func (f *tracePredScheme) Name() string { return "trace-fixed" }
+func (f *tracePredScheme) ShouldPredicate(pc int, _ bool, _ int, _ uint64) (PredSpec, bool) {
+	if pc == f.pc {
+		return f.spec, true
+	}
+	return PredSpec{}, false
+}
+func (f *tracePredScheme) OnFetch(FetchEvent)           {}
+func (f *tracePredScheme) OnFlush()                     {}
+func (f *tracePredScheme) OnBranchResolve(ResolveEvent) {}
+func (f *tracePredScheme) OnRetireTick(int64)           {}
+
+// TestTraceEventsFromRun checks a predicating run emits paired dual-fetch
+// events: every reconverge/diverge closes a previously opened context.
+func TestTraceEventsFromRun(t *testing.T) {
+	p, m := buildLoopHammock(2000)
+	branchPC, reconPC := hammockPCs(t, p)
+	c := NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()),
+		&tracePredScheme{pc: branchPC, spec: PredSpec{ReconPC: reconPC, MaxBody: 56}}, m)
+	r := c.EnableTrace(0)
+	if _, err := c.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+	open := make(map[int64]bool)
+	var opens, closes int
+	for _, ev := range r.Events() {
+		switch ev.Kind {
+		case EvDualFetchOpen:
+			open[ev.Ctx] = true
+			opens++
+		case EvReconverge, EvDiverge:
+			if !open[ev.Ctx] {
+				t.Fatalf("close of never-opened ctx %d", ev.Ctx)
+			}
+			delete(open, ev.Ctx)
+			closes++
+		}
+	}
+	if opens == 0 {
+		t.Fatal("predicating run emitted no dual-fetch opens")
+	}
+	if closes == 0 {
+		t.Fatal("predicating run emitted no context closes")
+	}
+	t.Logf("%d events: %d opens, %d closes, %d still open at halt",
+		len(r.Events()), opens, closes, len(open))
+}
+
+// TestWriteChromeTrace checks the exporter emits loadable trace-event
+// JSON: duration events for contexts, instants for flushes and gate
+// denials, and deterministic closure of contexts left open at the end.
+func TestWriteChromeTrace(t *testing.T) {
+	events := []TraceEvent{
+		{Cycle: 10, Kind: EvDualFetchOpen, PC: 100, Ctx: 1, Arg: 120},
+		{Cycle: 14, Kind: EvDualFetchSwitch, PC: 100, Ctx: 1},
+		{Cycle: 20, Kind: EvReconverge, PC: 100, Ctx: 1, Arg: 120},
+		{Cycle: 25, Kind: EvFlushMispredict, PC: 30, Arg: 4},
+		{Cycle: 26, Kind: EvGateDeny, PC: 100, Arg: GateStallThrottle},
+		{Cycle: 30, Kind: EvDualFetchOpen, PC: 200, Ctx: 2, Arg: 240}, // never closed
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			Ts   int64                  `json:"ts"`
+			Dur  int64                  `json:"dur"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	var xs, is int
+	var sawOpenAtEnd, sawReconverged, sawFlush, sawGate bool
+	for _, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			xs++
+			if ev.Dur < 1 {
+				t.Fatalf("X event %q has dur %d", ev.Name, ev.Dur)
+			}
+			switch ev.Args["outcome"] {
+			case "reconverged":
+				sawReconverged = true
+				if ev.Ts != 10 || ev.Dur != 10 {
+					t.Fatalf("reconverged span ts=%d dur=%d, want 10/10", ev.Ts, ev.Dur)
+				}
+			case "open-at-end":
+				sawOpenAtEnd = true
+			}
+		case "i":
+			is++
+			if ev.Name == "flush-mispredict" {
+				sawFlush = true
+			}
+			if ev.Name == "gate-deny:stall-throttle" {
+				sawGate = true
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if xs != 2 || is != 2 {
+		t.Fatalf("got %d X and %d i events, want 2 and 2", xs, is)
+	}
+	if !sawReconverged || !sawOpenAtEnd || !sawFlush || !sawGate {
+		t.Fatalf("missing events: reconverged=%v openAtEnd=%v flush=%v gate=%v",
+			sawReconverged, sawOpenAtEnd, sawFlush, sawGate)
+	}
+}

@@ -75,6 +75,12 @@ func (c *Core) resolveBranch(e *robEntry) {
 				target = e.inst.Target
 			}
 			c.flushAfter(e, target)
+			if c.cpi != nil {
+				c.cpi.noteFlush(flushMispredict, e.seq)
+			}
+			if c.trace != nil {
+				c.trace.Emit(EvFlushMispredict, e.pc, 0, int64(target))
+			}
 			// Repair speculative global history: rewind to this branch's
 			// fetch-time history and insert the actual outcome.
 			c.pred.SetHistory(e.pred.Hist)
@@ -133,6 +139,12 @@ func (c *Core) divergenceFlush(e *robEntry) {
 		target = e.inst.Target
 	}
 	c.flushAfter(e, target)
+	if c.cpi != nil {
+		c.cpi.noteFlush(flushDivergence, e.seq)
+	}
+	if c.trace != nil {
+		c.trace.Emit(EvFlushDivergence, e.pc, ctx.id, int64(target))
+	}
 
 	// History: predicated instances are absent from history (ACB); the
 	// DMP-PBH oracle inserts the true outcome.

@@ -165,6 +165,9 @@ func (c *Core) openCtx(pc int, spec PredSpec, trueKnown, trueTaken bool, fi *fet
 	c.liveCtxs = append(c.liveCtxs, ctx)
 	c.s.fetchCtxOpens++
 	c.dbgLog("openCtx ctx%d pc=%d recon=%d firstTaken=%v wrong=%v trueKnown=%v", ctx.id, pc, spec.ReconPC, spec.FirstTaken, ctx.wrongPath, trueKnown)
+	if c.trace != nil {
+		c.trace.Emit(EvDualFetchOpen, pc, ctx.id, int64(spec.ReconPC))
+	}
 
 	if trueKnown {
 		c.snapshots = append(c.snapshots, oracleSnap{
@@ -228,6 +231,9 @@ func (c *Core) fetchCtxSlot() (consumed, stop bool) {
 			c.ctxTrueIdx = 0
 			ctx.body = 0
 			c.pendingSwtch = true
+			if c.trace != nil {
+				c.trace.Emit(EvDualFetchSwitch, ctx.branchPC, ctx.id, int64(c.ctxNext))
+			}
 			if c.ctxNext == recon { // empty second path (Type-1)
 				c.closeCtx(ctx)
 			}
@@ -310,6 +316,9 @@ func (c *Core) closeCtx(ctx *ctxState) {
 	c.ctxPhase = 0
 	c.fetchPC = ctx.spec.ReconPC
 	c.dbgLog("closeCtx ctx%d fetchPC=%d oracle=%d", ctx.id, c.fetchPC, c.oracle.PC)
+	if c.trace != nil {
+		c.trace.Emit(EvReconverge, ctx.branchPC, ctx.id, int64(ctx.spec.ReconPC))
+	}
 }
 
 // divergeCtx marks a context divergent: the front end gives up on
@@ -319,6 +328,9 @@ func (c *Core) divergeCtx(ctx *ctxState, resumePC int) {
 	ctx.diverged = true
 	ctx.closed = true // the stalled branch may now schedule (divergence identifier)
 	c.dbgLog("divergeCtx ctx%d resume=%d", ctx.id, resumePC)
+	if c.trace != nil {
+		c.trace.Emit(EvDiverge, ctx.branchPC, ctx.id, int64(resumePC))
+	}
 	c.ctx = nil
 	c.ctxPhase = 0
 	c.fetchPC = resumePC

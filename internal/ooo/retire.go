@@ -63,6 +63,9 @@ func (c *Core) retireStage() bool {
 		if c.pipe != nil {
 			c.pipe.retireSlots++
 		}
+		if c.cpi != nil {
+			c.cpi.noteCommit(e.seq)
+		}
 		// Only architecturally-useful instructions count as retired:
 		// predicated-false-path bodies are transparent nullifications and
 		// select micro-ops are machine-internal, so neither contributes

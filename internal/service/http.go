@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+
+	"acb/internal/ooo"
 )
 
 // Server is the stdlib-only HTTP front end over a Scheduler.
@@ -151,10 +154,15 @@ func (srv *Server) handleGetResult(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics emits Prometheus text exposition (version 0.0.4).
+// Monotonic series follow the naming convention: every `*_total` name is
+// declared `# TYPE ... counter` (tested by TestMetricsExposition).
 func (srv *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var b strings.Builder
 	gauge := func(name, help string, v interface{}) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v interface{}) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
 	}
 
 	fmt.Fprintf(&b, "# HELP acbd_jobs Jobs by lifecycle state.\n# TYPE acbd_jobs gauge\n")
@@ -177,14 +185,41 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("acbd_store_entries", "Tables resident in the memory tier.", srv.sched.Store().Len())
 
 	rs := srv.sched.RunnerStats()
-	gauge("acbd_simulations_total", "Simulations dispatched onto the worker pool.", rs.Jobs())
-	gauge("acbd_sim_seconds_total", "Cumulative single-threaded simulation seconds.", rs.Sim().Seconds())
-	gauge("acbd_wall_seconds_total", "Cumulative pool wall-clock seconds.", rs.Wall().Seconds())
+	counter("acbd_simulations_total", "Simulations dispatched onto the worker pool.", rs.Jobs())
+	counter("acbd_sim_seconds_total", "Cumulative single-threaded simulation seconds.", rs.Sim().Seconds())
+	counter("acbd_wall_seconds_total", "Cumulative pool wall-clock seconds.", rs.Wall().Seconds())
 	// Emitted only once a measurement exists: "no runs yet" is the
 	// metric's absence, not a fake 0x.
 	if sp, ok := rs.Speedup(); ok {
 		gauge("acbd_effective_speedup", "Cumulative sim/wall ratio of the worker pool.", fmt.Sprintf("%.4f", sp))
 	}
+
+	// Per-job wall-duration histogram (Prometheus histogram exposition:
+	// cumulative buckets, +Inf, sum, count).
+	bounds, cumulative, sum, count := srv.sched.Durations().Snapshot()
+	fmt.Fprintf(&b, "# HELP acbd_job_duration_seconds Wall-clock duration of executed jobs.\n")
+	fmt.Fprintf(&b, "# TYPE acbd_job_duration_seconds histogram\n")
+	for i, bound := range bounds {
+		fmt.Fprintf(&b, "acbd_job_duration_seconds_bucket{le=%q} %d\n",
+			strconv.FormatFloat(bound, 'g', -1, 64), cumulative[i])
+	}
+	fmt.Fprintf(&b, "acbd_job_duration_seconds_bucket{le=\"+Inf\"} %d\n", count)
+	fmt.Fprintf(&b, "acbd_job_duration_seconds_sum %g\n", sum)
+	fmt.Fprintf(&b, "acbd_job_duration_seconds_count %d\n", count)
+
+	// CPI-stack totals across every simulated job, per scheme and bucket.
+	cpi := srv.sched.CPIStats()
+	snap := cpi.Snapshot()
+	fmt.Fprintf(&b, "# HELP acbd_cpi_cycles_total Simulated cycles attributed per CPI-stack bucket.\n")
+	fmt.Fprintf(&b, "# TYPE acbd_cpi_cycles_total counter\n")
+	for _, scheme := range cpi.Schemes() {
+		t := snap[scheme]
+		for i, bucket := range ooo.CPIBucketNames {
+			fmt.Fprintf(&b, "acbd_cpi_cycles_total{scheme=%q,bucket=%q} %d\n",
+				scheme, bucket, t.Buckets[i])
+		}
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, b.String())
 }

@@ -1,0 +1,166 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parseExposition splits Prometheus text exposition into declared types
+// (metric name → TYPE value) and sample-line metric names, failing the
+// test on any malformed line.
+func parseExposition(t *testing.T, body string) (types map[string]string, samples []string) {
+	t.Helper()
+	types = make(map[string]string)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) < 4 || (f[1] != "HELP" && f[1] != "TYPE") {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			if f[1] == "TYPE" {
+				if prev, dup := types[f[2]]; dup {
+					t.Fatalf("metric %s declared TYPE twice (%s, %s)", f[2], prev, f[3])
+				}
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		// Sample: name[{labels}] value
+		name := line
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			if !strings.Contains(line, "} ") {
+				t.Fatalf("malformed labeled sample %q", line)
+			}
+		} else if i := strings.IndexByte(line, ' '); i >= 0 {
+			name = line[:i]
+		} else {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		if name == "" {
+			t.Fatalf("sample line with empty name: %q", line)
+		}
+		samples = append(samples, name)
+	}
+	return types, samples
+}
+
+// histogramBase strips Prometheus histogram-sample suffixes so
+// foo_bucket/foo_sum/foo_count resolve to foo's TYPE declaration.
+func histogramBase(name string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// TestMetricsExposition is the regression test for the gauge-typed
+// counters bug: every `*_total` series must be declared `# TYPE ...
+// counter` — Prometheus derives rate() semantics from the declaration, and
+// a gauge-typed counter silently breaks dashboards.
+func TestMetricsExposition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	ts, _ := newTestServer(t, SchedulerConfig{SimJobs: 4}, "")
+
+	// Run one real job so runner, duration and CPI series carry data.
+	sr, code := postJob(t, ts, Request{Experiment: "cpistack", Workloads: []string{"compression"}, Budget: 20_000})
+	if code != http.StatusCreated {
+		t.Fatalf("submit status = %d", code)
+	}
+	if st := pollDone(t, ts, sr.ID, time.Minute); st.State != JobDone {
+		t.Fatalf("job finished %s: %s", st.State, st.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q is not text exposition 0.0.4", ct)
+	}
+
+	types, samples := parseExposition(t, string(body))
+
+	for _, name := range samples {
+		base := histogramBase(name, types)
+		typ, declared := types[base]
+		if !declared {
+			t.Errorf("sample %s has no TYPE declaration", name)
+			continue
+		}
+		if strings.HasSuffix(base, "_total") && typ != "counter" {
+			t.Errorf("monotonic series %s declared %q, want counter", base, typ)
+		}
+	}
+
+	for _, want := range []string{
+		"acbd_simulations_total", "acbd_sim_seconds_total", "acbd_wall_seconds_total",
+		"acbd_cpi_cycles_total", "acbd_job_duration_seconds",
+	} {
+		if _, ok := types[want]; !ok {
+			t.Errorf("missing TYPE declaration for %s", want)
+		}
+	}
+	if types["acbd_job_duration_seconds"] != "histogram" {
+		t.Errorf("acbd_job_duration_seconds declared %q, want histogram", types["acbd_job_duration_seconds"])
+	}
+
+	// The completed cpistack job must have populated both schemes' CPI
+	// totals and exactly one duration observation.
+	for _, want := range []string{
+		`acbd_cpi_cycles_total{scheme="baseline",bucket="base"}`,
+		`acbd_cpi_cycles_total{scheme="acb",bucket="base"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("missing CPI series %s", want)
+		}
+	}
+	if !strings.Contains(string(body), "acbd_job_duration_seconds_count 1") {
+		t.Errorf("duration histogram did not observe the job:\n%s", body)
+	}
+}
+
+// TestJobStatusCarriesCPI checks a finished job's status JSON includes its
+// per-scheme CPI-stack summary with buckets summing to cycles.
+func TestJobStatusCarriesCPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	ts, _ := newTestServer(t, SchedulerConfig{SimJobs: 4}, "")
+	sr, code := postJob(t, ts, Request{Experiment: "cpistack", Workloads: []string{"compression"}, Budget: 20_000})
+	if code != http.StatusCreated {
+		t.Fatalf("submit status = %d", code)
+	}
+	st := pollDone(t, ts, sr.ID, time.Minute)
+	if st.State != JobDone {
+		t.Fatalf("job finished %s: %s", st.State, st.Error)
+	}
+	if len(st.CPI) == 0 {
+		t.Fatal("done cpistack job carries no CPI summary")
+	}
+	for scheme, tot := range st.CPI {
+		var sum int64
+		for _, v := range tot.Buckets {
+			sum += v
+		}
+		if sum != tot.Cycles || tot.Cycles == 0 {
+			t.Fatalf("%s: buckets sum %d, cycles %d", scheme, sum, tot.Cycles)
+		}
+	}
+}

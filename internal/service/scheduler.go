@@ -48,6 +48,7 @@ type Job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	cpi      map[string]experiments.CPITotals
 
 	cancel context.CancelFunc
 	// done is closed on entry to any terminal state.
@@ -67,6 +68,9 @@ type JobStatus struct {
 	Created    time.Time  `json:"created"`
 	Started    *time.Time `json:"started,omitempty"`
 	Finished   *time.Time `json:"finished,omitempty"`
+	// CPI is the job's per-scheme CPI-stack summary (bucket order:
+	// ooo.CPIBucketNames), populated when the job actually simulated.
+	CPI map[string]experiments.CPITotals `json:"cpi,omitempty"`
 }
 
 // SchedulerConfig configures a Scheduler.
@@ -89,10 +93,12 @@ type SchedulerConfig struct {
 
 // Scheduler owns the job table, the bounded queue and the worker pool.
 type Scheduler struct {
-	cfg      SchedulerConfig
-	store    *Store
-	runStats *experiments.RunnerStats
-	counters *stats.Counters
+	cfg       SchedulerConfig
+	store     *Store
+	runStats  *experiments.RunnerStats
+	counters  *stats.Counters
+	durations *stats.Histogram
+	cpiStats  *experiments.CPIAccumulator
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -125,6 +131,8 @@ func NewScheduler(cfg SchedulerConfig, store *Store) *Scheduler {
 		store:      store,
 		runStats:   &experiments.RunnerStats{},
 		counters:   stats.NewCounters(),
+		durations:  stats.NewHistogram(JobDurationBounds...),
+		cpiStats:   experiments.NewCPIAccumulator(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *Job, cfg.QueueDepth),
@@ -147,6 +155,19 @@ func (s *Scheduler) RunnerStats() *experiments.RunnerStats { return s.runStats }
 // Counters returns the scheduler's monotonic counters (submitted,
 // deduped, cache_hits, simulated, done, failed, cancelled).
 func (s *Scheduler) Counters() *stats.Counters { return s.counters }
+
+// JobDurationBounds are the per-job wall-duration histogram bucket upper
+// bounds in seconds, spanning tiny smoke budgets to full-suite sweeps.
+var JobDurationBounds = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+// Durations returns the per-job wall-duration histogram (every executed
+// job observes one sample on reaching a terminal state; cache hits and
+// queue-cancelled jobs never ran and are excluded).
+func (s *Scheduler) Durations() *stats.Histogram { return s.durations }
+
+// CPIStats returns the service-lifetime per-scheme CPI-stack totals
+// accumulated across every simulated job.
+func (s *Scheduler) CPIStats() *experiments.CPIAccumulator { return s.cpiStats }
 
 // Submit schedules req. Returns the job snapshot and whether a new job
 // was created: an in-flight identical request coalesces onto the
@@ -336,11 +357,15 @@ func (s *Scheduler) runJob(job *Job) {
 
 	opts, err := job.Request.options(s.cfg.SimJobs, s.runStats)
 	var tab *stats.Table
+	jobCPI := experiments.NewCPIAccumulator()
 	if err == nil {
 		opts.Context = ctx
 		opts.Logf = s.cfg.Logf
+		opts.CPIStats = jobCPI
 		tab, err = experiments.Run(job.Request.Experiment, opts)
 	}
+	s.durations.Observe(time.Since(job.started).Seconds())
+	s.cpiStats.Merge(jobCPI)
 	if err == nil {
 		s.counters.Add("simulated", 1)
 		if perr := s.store.Put(job.Key, job.Request, tab); perr != nil {
@@ -350,6 +375,9 @@ func (s *Scheduler) runJob(job *Job) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if snap := jobCPI.Snapshot(); len(snap) > 0 {
+		job.cpi = snap
+	}
 	switch {
 	case err == nil:
 		s.finishLocked(job, JobDone, "")
@@ -383,6 +411,7 @@ func (s *Scheduler) statusLocked(job *Job) JobStatus {
 		CacheHit:   job.cacheHit,
 		Error:      job.err,
 		Created:    job.created,
+		CPI:        job.cpi,
 	}
 	if !job.started.IsZero() {
 		t := job.started

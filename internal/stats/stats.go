@@ -257,3 +257,55 @@ func csvCell(c string) string {
 	}
 	return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
 }
+
+// Histogram is a fixed-bound latency histogram with Prometheus
+// exposition semantics: Observe assigns each sample to the first bucket
+// whose upper bound is >= the value, and Snapshot returns *cumulative*
+// counts per bound plus the implicit +Inf bucket. Safe for concurrent
+// use (jobs observe while the metrics handler scrapes).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // per-bucket (not cumulative); len(bounds)+1, last = +Inf
+	sum    float64
+	count  int64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+// It panics on unsorted bounds — a malformed exposition would silently
+// corrupt every scrape.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Snapshot returns the bucket upper bounds, the cumulative count at each
+// bound (excluding +Inf — the total is Count), the sum of samples and the
+// sample count.
+func (h *Histogram) Snapshot() (bounds []float64, cumulative []int64, sum float64, count int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = make([]float64, len(h.bounds))
+	copy(bounds, h.bounds)
+	cumulative = make([]int64, len(h.bounds))
+	var c int64
+	for i := range h.bounds {
+		c += h.counts[i]
+		cumulative[i] = c
+	}
+	return bounds, cumulative, h.sum, h.count
+}

@@ -261,3 +261,36 @@ func TestTableSortByColumnGarbage(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	bounds, cumulative, sum, count := h.Snapshot()
+	if len(bounds) != 3 || bounds[0] != 0.1 || bounds[2] != 10 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// Prometheus le semantics: a sample equal to a bound lands in it.
+	want := []int64{2, 3, 4}
+	for i := range cumulative {
+		if cumulative[i] != want[i] {
+			t.Fatalf("cumulative = %v, want %v", cumulative, want)
+		}
+	}
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+	if sum != 102.65 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds did not panic")
+		}
+	}()
+	NewHistogram(1, 1)
+}

@@ -189,3 +189,102 @@ func Sparkline(values []float64) string {
 	}
 	return string(out)
 }
+
+// StackedRow is one labelled bar of a StackedBar chart; Values are
+// segment sizes in Series order.
+type StackedRow struct {
+	Label  string
+	Values []float64
+}
+
+// StackedBar renders rows as horizontal 100%-stacked bars: each row is
+// normalized to its own total so the segments show shares — the CPI-stack
+// "where do the cycles go" view. Segments use a fixed fill-rune cycle and
+// a legend maps runes to series names.
+type StackedBar struct {
+	Title  string
+	Width  int // bar width in runes (default 48)
+	Series []string
+	Rows   []StackedRow
+}
+
+// stackedFills is the segment fill cycle (reused when Series is longer).
+var stackedFills = []rune("█▓▒░▞·")
+
+// Add appends one row; values must follow Series order.
+func (c *StackedBar) Add(label string, values ...float64) {
+	c.Rows = append(c.Rows, StackedRow{Label: label, Values: values})
+}
+
+// String renders the chart.
+func (c *StackedBar) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 48
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	var legend []string
+	for i, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", stackedFills[i%len(stackedFills)], s))
+	}
+	fmt.Fprintf(&sb, "legend: %s\n", strings.Join(legend, "  "))
+
+	labelW := 0
+	for _, r := range c.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	for _, r := range c.Rows {
+		total := 0.0
+		for _, v := range r.Values {
+			if v > 0 {
+				total += v
+			}
+		}
+		row := make([]rune, 0, width)
+		if total > 0 {
+			// Largest-remainder rounding so the segments always fill the
+			// bar exactly, without zero-valued segments ever gaining cells.
+			cells := make([]int, len(r.Values))
+			fracs := make([]float64, len(r.Values))
+			used := 0
+			for i, v := range r.Values {
+				if v < 0 {
+					v = 0
+				}
+				exact := v / total * float64(width)
+				cells[i] = int(exact)
+				fracs[i] = exact - float64(cells[i])
+				used += cells[i]
+			}
+			for used < width {
+				best := -1
+				for i, f := range fracs {
+					if f > 0 && (best < 0 || f > fracs[best]) {
+						best = i
+					}
+				}
+				if best < 0 {
+					break
+				}
+				cells[best]++
+				fracs[best] = 0
+				used++
+			}
+			for i, n := range cells {
+				for j := 0; j < n; j++ {
+					row = append(row, stackedFills[i%len(stackedFills)])
+				}
+			}
+		}
+		for len(row) < width {
+			row = append(row, ' ')
+		}
+		fmt.Fprintf(&sb, "%-*s |%s| %.0f\n", labelW, r.Label, string(row), total)
+	}
+	return sb.String()
+}

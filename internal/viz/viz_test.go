@@ -88,3 +88,44 @@ func TestSparkline(t *testing.T) {
 		t.Error("flat series broke")
 	}
 }
+
+func TestStackedBar(t *testing.T) {
+	c := &StackedBar{Title: "t", Width: 10, Series: []string{"a", "b", "c"}}
+	c.Add("row1", 5, 5, 0)
+	c.Add("row2", 0, 0, 0)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "█ a") || !strings.Contains(lines[1], "▒ c") {
+		t.Fatalf("legend wrong: %q", lines[1])
+	}
+	bar := lines[2][strings.IndexByte(lines[2], '|')+1:]
+	bar = bar[:strings.IndexByte(bar, '|')]
+	if got := []rune(bar); len(got) != 10 {
+		t.Fatalf("bar width = %d, want 10: %q", len(got), bar)
+	}
+	// 50/50 split over width 10: five cells each, and the zero-valued
+	// third series must gain no cells from rounding.
+	if strings.Count(bar, "█") != 5 || strings.Count(bar, "▓") != 5 || strings.Count(bar, "▒") != 0 {
+		t.Fatalf("segment split wrong: %q", bar)
+	}
+	// All-zero rows render an empty bar, not a crash.
+	if !strings.Contains(lines[3], "|          |") {
+		t.Fatalf("zero row not blank: %q", lines[3])
+	}
+}
+
+func TestStackedBarRounding(t *testing.T) {
+	c := &StackedBar{Width: 3, Series: []string{"a", "b", "c", "d"}}
+	c.Add("r", 1, 1, 1, 1)
+	out := c.String()
+	bars := strings.SplitN(out, "|", 3)
+	if len(bars) < 3 {
+		t.Fatalf("no bar: %q", out)
+	}
+	if got := []rune(bars[1]); len(got) != 3 {
+		t.Fatalf("bar width = %d, want exactly 3 (largest-remainder fill): %q", len(got), bars[1])
+	}
+}
