@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"acb/internal/faultinject"
 	"acb/internal/service"
 	"acb/internal/stats"
 )
@@ -60,23 +61,31 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  acbd serve  [-addr :8315] [-store-dir DIR] [-store-cap N] [-queue N] [-workers N] [-jobs N] [-drain-timeout D] [-debug-addr :6060]
-  acbd submit [-addr URL] -experiment NAME [-workloads a,b] [-budget N] [-config NAME] [-wait] [-format json|csv|ascii]
+  acbd serve  [-addr :8315] [-store-dir DIR] [-store-cap N] [-journal FILE] [-queue N] [-workers N] [-jobs N]
+              [-timeout D] [-max-timeout D] [-retries N] [-drain-timeout D] [-debug-addr :6060]
+              [-fault-spec SPEC] [-fault-seed N]
+  acbd submit [-addr URL] -experiment NAME [-workloads a,b] [-budget N] [-config NAME] [-timeout D] [-wait] [-format json|csv|ascii]
 `)
 }
 
 func serve(args []string) error {
 	fs := flag.NewFlagSet("acbd serve", flag.ExitOnError)
 	var (
-		addr     = fs.String("addr", ":8315", "HTTP listen address")
-		storeDir = fs.String("store-dir", "", "directory for the on-disk result tier (empty = memory only)")
-		storeCap = fs.Int("store-cap", 256, "tables held in the in-memory LRU tier")
-		queue    = fs.Int("queue", 64, "bounded job-queue depth (backpressure beyond it)")
-		workers  = fs.Int("workers", 1, "jobs running concurrently")
-		simJobs  = fs.Int("jobs", 0, "concurrent simulations per job (0 = GOMAXPROCS)")
-		drain    = fs.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain budget before cancelling running jobs")
-		debug    = fs.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled; keep it off the service port)")
-		verbose  = fs.Bool("v", false, "per-job progress on stderr")
+		addr       = fs.String("addr", ":8315", "HTTP listen address")
+		storeDir   = fs.String("store-dir", "", "directory for the on-disk result tier (empty = memory only)")
+		storeCap   = fs.Int("store-cap", 256, "tables held in the in-memory LRU tier")
+		journalPth = fs.String("journal", "", "write-ahead job journal file; queued and running jobs survive a crash and re-run on restart (empty = disabled; conventionally <store-dir>/journal.jsonl)")
+		queue      = fs.Int("queue", 64, "bounded job-queue depth (backpressure beyond it)")
+		workers    = fs.Int("workers", 1, "jobs running concurrently")
+		simJobs    = fs.Int("jobs", 0, "concurrent simulations per job (0 = GOMAXPROCS)")
+		timeout    = fs.Duration("timeout", 0, "default per-job deadline for requests without timeout_ms (0 = none)")
+		maxTimeout = fs.Duration("max-timeout", time.Hour, "cap on request-supplied job deadlines")
+		retries    = fs.Int("retries", 3, "max runs per job (first run + retries of transient failures)")
+		drain      = fs.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain budget before cancelling running jobs")
+		debug      = fs.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled; keep it off the service port)")
+		faultSpec  = fs.String("fault-spec", "", "fault-injection rules, e.g. 'store.persist:error,prob=0.2;worker:panic,nth=5' (chaos testing only)")
+		faultSeed  = fs.Int64("fault-seed", 1, "seed for probabilistic fault injection (reproducible chaos)")
+		verbose    = fs.Bool("v", false, "per-job progress on stderr")
 	)
 	fs.Parse(args)
 
@@ -85,13 +94,37 @@ func serve(args []string) error {
 		return err
 	}
 	cfg := service.SchedulerConfig{
-		QueueDepth: *queue,
-		Workers:    *workers,
-		SimJobs:    *simJobs,
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		SimJobs:        *simJobs,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxAttempts:    *retries,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, a ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+	if *faultSpec != "" {
+		inj, err := faultinject.Parse(*faultSpec, *faultSeed)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = inj
+		store.SetFaults(inj)
+		fmt.Fprintf(os.Stderr, "acbd: CHAOS MODE: injecting faults: %s (seed %d)\n", *faultSpec, *faultSeed)
+	}
+	if *journalPth != "" {
+		journal, replay, err := service.OpenJournal(*journalPth)
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		cfg.Journal = journal
+		cfg.Replay = replay
+		if len(replay) > 0 {
+			fmt.Fprintf(os.Stderr, "acbd: journal %s: replaying %d interrupted/queued job(s)\n",
+				*journalPth, len(replay))
 		}
 	}
 	sched := service.NewScheduler(cfg, store)
@@ -154,6 +187,7 @@ func submit(args []string) error {
 		workloads = fs.String("workloads", "", "comma-separated workload subset (default: full suite)")
 		budget    = fs.Int64("budget", 0, "retired-instruction budget per simulation (0 = server default)")
 		cfgName   = fs.String("config", "", "core configuration (default skylake)")
+		timeout   = fs.Duration("timeout", 0, "job deadline, sent as timeout_ms (0 = server default; capped by the server)")
 		wait      = fs.Bool("wait", false, "poll the job to completion and print the result table")
 		format    = fs.String("format", "json", "result rendering with -wait: json | csv | ascii")
 		interval  = fs.Duration("poll-interval", 250*time.Millisecond, "poll period with -wait")
@@ -163,7 +197,8 @@ func submit(args []string) error {
 		return errors.New("submit: -experiment is required")
 	}
 
-	req := service.Request{Experiment: *exp, Budget: *budget, Config: *cfgName}
+	req := service.Request{Experiment: *exp, Budget: *budget, Config: *cfgName,
+		TimeoutMS: timeout.Milliseconds()}
 	if *workloads != "" {
 		for _, n := range strings.Split(*workloads, ",") {
 			req.Workloads = append(req.Workloads, strings.TrimSpace(n))

@@ -1,0 +1,292 @@
+// Package faultinject is a deterministic, seedable fault-injection
+// harness for chaos testing the acbd service. Call sites name injection
+// points ("store.persist", "worker", ...) and fire them on every pass;
+// an Injector configured with rules decides — reproducibly, from its
+// seed — whether each call fails, panics, or stalls. Points without a
+// rule cost one map lookup and never fire, so production code keeps its
+// hooks permanently wired and a nil *Injector disables everything.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"math/rand"
+)
+
+// ErrInjected is wrapped by every error an Injector returns (and every
+// panic value it raises), so callers can classify injected faults with
+// errors.Is / IsInjected.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// IsInjected reports whether err (or a panic value recovered as an
+// error) originated from an Injector.
+func IsInjected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// Kind selects what an injection does.
+type Kind int
+
+const (
+	// Error returns an ErrInjected-wrapped error from Fire.
+	Error Kind = iota
+	// Panic panics with an ErrInjected-wrapped error value.
+	Panic
+	// Slow sleeps for Rule.Delay and returns nil (artificial slowness:
+	// the caller proceeds, late).
+	Slow
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Error:
+		return "error"
+	case Panic:
+		return "panic"
+	case Slow:
+		return "slow"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Rule configures one injection point. Nth and Prob select when the
+// rule fires; exactly one of them is typically set. A zero Rule never
+// fires.
+type Rule struct {
+	// Kind is what firing does: Error (default), Panic, or Slow.
+	Kind Kind
+	// Nth fires the rule on every Nth call (1-based): Nth=3 fires on
+	// calls 3, 6, 9, … Nth=1 fires on every call.
+	Nth int64
+	// Prob fires the rule on each call with this probability, drawn
+	// from the injector's seeded generator (deterministic for a fixed
+	// seed and call sequence).
+	Prob float64
+	// Limit stops the rule after this many firings (0 = unlimited).
+	Limit int64
+	// Delay is slept on every firing (the whole fault for Slow; a
+	// stall before failing for Error/Panic).
+	Delay time.Duration
+}
+
+type point struct {
+	rule     Rule
+	calls    int64
+	injected int64
+}
+
+// Injector decides fault injection for a set of named points. The zero
+// value is unusable; construct with New. A nil *Injector is valid and
+// never fires — call sites need no nil checks beyond the receiver.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	points map[string]*point
+	// sleep is swappable so tests of Slow rules need not wall-wait.
+	sleep func(time.Duration)
+}
+
+// New returns an Injector whose probabilistic decisions derive from
+// seed: the same seed and call sequence reproduce the same faults.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:    rand.New(rand.NewSource(seed)),
+		points: make(map[string]*point),
+		sleep:  time.Sleep,
+	}
+}
+
+// Set installs (or replaces) the rule for an injection point, resetting
+// its call and injection counts.
+func (in *Injector) Set(name string, r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.points[name] = &point{rule: r}
+}
+
+// Fire evaluates the named point once: nil for no injection, an
+// ErrInjected-wrapped error for Error rules, a panic for Panic rules,
+// and a Delay-long sleep (then nil) for Slow rules. A nil Injector and
+// unconfigured points always return nil.
+func (in *Injector) Fire(name string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	p, ok := in.points[name]
+	if !ok {
+		in.mu.Unlock()
+		return nil
+	}
+	p.calls++
+	r := p.rule
+	fires := false
+	if r.Nth > 0 && p.calls%r.Nth == 0 {
+		fires = true
+	} else if r.Prob > 0 && in.rng.Float64() < r.Prob {
+		fires = true
+	}
+	if fires && r.Limit > 0 && p.injected >= r.Limit {
+		fires = false
+	}
+	if fires {
+		p.injected++
+	}
+	n := p.injected
+	in.mu.Unlock()
+	if !fires {
+		return nil
+	}
+	if r.Delay > 0 {
+		in.sleep(r.Delay)
+	}
+	err := fmt.Errorf("%w: %s #%d at %q", ErrInjected, r.Kind, n, name)
+	switch r.Kind {
+	case Panic:
+		panic(err)
+	case Slow:
+		return nil
+	default:
+		return err
+	}
+}
+
+// Calls returns how many times the named point has been evaluated.
+func (in *Injector) Calls(name string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if p, ok := in.points[name]; ok {
+		return p.calls
+	}
+	return 0
+}
+
+// Injected returns how many times the named point has actually fired.
+func (in *Injector) Injected(name string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if p, ok := in.points[name]; ok {
+		return p.injected
+	}
+	return 0
+}
+
+// Counts returns per-point injection counts for every configured point.
+func (in *Injector) Counts() map[string]int64 {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]int64, len(in.points))
+	for name, p := range in.points {
+		out[name] = p.injected
+	}
+	return out
+}
+
+// String summarizes the configured points in name order.
+func (in *Injector) String() string {
+	if in == nil {
+		return "faultinject: disabled"
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	names := make([]string, 0, len(in.points))
+	for name := range in.points {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		p := in.points[name]
+		fmt.Fprintf(&b, "%s: %s calls=%d injected=%d", name, p.rule.Kind, p.calls, p.injected)
+	}
+	return b.String()
+}
+
+// Parse builds an Injector from a textual spec, for wiring injection
+// through CLI flags:
+//
+//	point:opt[,opt...][;point:opt...]
+//
+// where opt is one of error | panic | slow | nth=N | prob=F | limit=N |
+// delay=DUR. Example:
+//
+//	store.persist:error,prob=0.2;worker:panic,nth=5,limit=2;worker.slow:slow,delay=300ms
+//
+// A point appears at most once; a repeated point's later rule replaces
+// the earlier one.
+//
+// An empty spec yields a nil Injector (injection disabled).
+func Parse(spec string, seed int64) (*Injector, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	in := New(seed)
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, opts, ok := strings.Cut(part, ":")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("faultinject: rule %q: want point:opt[,opt...]", part)
+		}
+		var r Rule
+		for _, opt := range strings.Split(opts, ",") {
+			opt = strings.TrimSpace(opt)
+			key, val, hasVal := strings.Cut(opt, "=")
+			var err error
+			switch key {
+			case "error":
+				r.Kind = Error
+			case "panic":
+				r.Kind = Panic
+			case "slow":
+				r.Kind = Slow
+			case "nth":
+				r.Nth, err = strconv.ParseInt(val, 10, 64)
+			case "prob":
+				r.Prob, err = strconv.ParseFloat(val, 64)
+			case "limit":
+				r.Limit, err = strconv.ParseInt(val, 10, 64)
+			case "delay":
+				r.Delay, err = time.ParseDuration(val)
+			default:
+				return nil, fmt.Errorf("faultinject: rule %q: unknown option %q", part, opt)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: rule %q: %s: %v", part, key, err)
+			}
+			if hasVal && (key == "error" || key == "panic" || key == "slow") {
+				return nil, fmt.Errorf("faultinject: rule %q: %s takes no value", part, key)
+			}
+		}
+		if r.Nth == 0 && r.Prob == 0 {
+			return nil, fmt.Errorf("faultinject: rule %q: needs nth=N or prob=F to ever fire", part)
+		}
+		if r.Prob < 0 || r.Prob > 1 {
+			return nil, fmt.Errorf("faultinject: rule %q: prob %g outside [0,1]", part, r.Prob)
+		}
+		if r.Nth < 0 || r.Limit < 0 || r.Delay < 0 {
+			return nil, fmt.Errorf("faultinject: rule %q: negative nth/limit/delay", part)
+		}
+		in.Set(name, r)
+	}
+	return in, nil
+}

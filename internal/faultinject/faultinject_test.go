@@ -1,0 +1,171 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNthCallRule(t *testing.T) {
+	in := New(1)
+	in.Set("p", Rule{Nth: 3})
+	var fired []int
+	for i := 1; i <= 10; i++ {
+		if err := in.Fire("p"); err != nil {
+			if !IsInjected(err) {
+				t.Fatalf("call %d: error %v is not ErrInjected", i, err)
+			}
+			fired = append(fired, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("fired on calls %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on calls %v, want %v", fired, want)
+		}
+	}
+	if in.Calls("p") != 10 || in.Injected("p") != 3 {
+		t.Fatalf("calls/injected = %d/%d, want 10/3", in.Calls("p"), in.Injected("p"))
+	}
+}
+
+func TestLimitStopsInjection(t *testing.T) {
+	in := New(1)
+	in.Set("p", Rule{Nth: 1, Limit: 2})
+	var n int
+	for i := 0; i < 10; i++ {
+		if in.Fire("p") != nil {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("injected %d times, want limit 2", n)
+	}
+}
+
+// TestProbDeterministic: the same seed reproduces the same firing
+// pattern exactly; a different seed (virtually certainly) does not.
+func TestProbDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		in := New(seed)
+		in.Set("p", Rule{Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Fire("p") != nil
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("prob=0.5 fired %d/%d times: not probabilistic", hits, len(a))
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	in := New(1)
+	in.Set("p", Rule{Kind: Panic, Nth: 1})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic rule did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !IsInjected(err) {
+			t.Fatalf("panic value %v is not an ErrInjected error", r)
+		}
+	}()
+	in.Fire("p")
+}
+
+func TestSlowRule(t *testing.T) {
+	in := New(1)
+	var slept time.Duration
+	in.sleep = func(d time.Duration) { slept += d }
+	in.Set("p", Rule{Kind: Slow, Nth: 2, Delay: 50 * time.Millisecond})
+	for i := 0; i < 4; i++ {
+		if err := in.Fire("p"); err != nil {
+			t.Fatalf("slow rule returned error %v", err)
+		}
+	}
+	if slept != 100*time.Millisecond {
+		t.Fatalf("slept %s, want 100ms (2 firings)", slept)
+	}
+}
+
+// TestNilAndUnconfigured: a nil injector and unset points are free no-ops.
+func TestNilAndUnconfigured(t *testing.T) {
+	var in *Injector
+	if err := in.Fire("anything"); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if in.Calls("anything") != 0 || in.Injected("x") != 0 || in.Counts() != nil {
+		t.Fatal("nil injector reported non-zero state")
+	}
+	in2 := New(1)
+	if err := in2.Fire("unset"); err != nil {
+		t.Fatalf("unconfigured point fired: %v", err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("store.persist:error,prob=0.25;worker:panic,nth=5,limit=2;io:slow,delay=10ms,nth=1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in == nil {
+		t.Fatal("nil injector from non-empty spec")
+	}
+	for name, want := range map[string]Rule{
+		"store.persist": {Kind: Error, Prob: 0.25},
+		"worker":        {Kind: Panic, Nth: 5, Limit: 2},
+		"io":            {Kind: Slow, Delay: 10 * time.Millisecond, Nth: 1},
+	} {
+		in.mu.Lock()
+		p, ok := in.points[name]
+		in.mu.Unlock()
+		if !ok {
+			t.Fatalf("point %q missing", name)
+		}
+		if p.rule != want {
+			t.Fatalf("point %q rule = %+v, want %+v", name, p.rule, want)
+		}
+	}
+
+	if in, err := Parse("", 1); err != nil || in != nil {
+		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", in, err)
+	}
+	for _, bad := range []string{
+		"noopts",             // missing colon
+		"p:bogus=1",          // unknown option
+		"p:error",            // never fires (no nth/prob)
+		"p:prob=1.5",         // out of range
+		"p:nth=abc",          // unparsable
+		"p:panic=yes,nth=1",  // flag with value
+		"p:delay=-5ms,nth=1", // negative
+	} {
+		if _, err := Parse(bad, 1); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestIsInjected(t *testing.T) {
+	if !IsInjected(ErrInjected) {
+		t.Fatal("ErrInjected not recognized")
+	}
+	if IsInjected(errors.New("other")) {
+		t.Fatal("foreign error recognized as injected")
+	}
+}

@@ -22,6 +22,7 @@ import (
 //	GET    /v1/results/{key} stored table (?format=json|csv|ascii, default json)
 //	GET    /v1/metrics       Prometheus text metrics
 //	GET    /v1/healthz       liveness
+//	GET    /v1/readyz        readiness (503 + Retry-After during journal replay and drain)
 type Server struct {
 	sched *Scheduler
 }
@@ -36,6 +37,7 @@ func (srv *Server) Scheduler() *Scheduler { return srv.sched }
 func (srv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", srv.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", srv.handleReadyz)
 	mux.HandleFunc("POST /v1/jobs", srv.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", srv.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", srv.handleGetJob)
@@ -66,6 +68,18 @@ func (srv *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz is the load-balancer signal, distinct from liveness: the
+// process is up (healthz 200) but must not receive traffic while the
+// journal is replaying or a drain is in progress.
+func (srv *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if ok, reason := srv.sched.Ready(); !ok {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready", "reason": reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
 // submitResponse is the POST /v1/jobs reply: the job snapshot plus
 // whether this submission created the job or coalesced onto prior work.
 type submitResponse struct {
@@ -88,6 +102,9 @@ func (srv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrShuttingDown):
+		// Draining: this instance never comes back, but a replacement
+		// (or journal-recovered restart) may — tell clients when to retry.
+		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
@@ -178,11 +195,18 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "acbd_events_total{event=%q} %d\n", name, c.Get(name))
 	}
 
+	// Retries get a dedicated counter (alerting keys on it) in addition
+	// to the acbd_events_total{event="retried"} series above.
+	counter("acbd_job_retries_total", "Transiently failed runs put back on the queue with backoff.",
+		c.Get("retried"))
+
 	hits, misses := srv.sched.Store().Stats()
 	fmt.Fprintf(&b, "# HELP acbd_store_lookups_total Result-store lookups.\n# TYPE acbd_store_lookups_total counter\n")
 	fmt.Fprintf(&b, "acbd_store_lookups_total{outcome=\"hit\"} %d\n", hits)
 	fmt.Fprintf(&b, "acbd_store_lookups_total{outcome=\"miss\"} %d\n", misses)
 	gauge("acbd_store_entries", "Tables resident in the memory tier.", srv.sched.Store().Len())
+	counter("acbd_store_disk_errors_total", "Disk-tier failures: failed persists plus unreadable or corrupt result files.",
+		srv.sched.Store().DiskErrors())
 
 	rs := srv.sched.RunnerStats()
 	counter("acbd_simulations_total", "Simulations dispatched onto the worker pool.", rs.Jobs())

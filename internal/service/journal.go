@@ -1,0 +1,286 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// JournalVersion is the first line of every journal file. Bump it when
+// entry semantics change: a mismatched journal refuses to replay instead
+// of silently resurrecting jobs under different rules.
+const JournalVersion = "acbd-journal/1"
+
+// ErrJournalVersion reports a journal written under a different format
+// version.
+var ErrJournalVersion = errors.New("service: journal version mismatch")
+
+// Journal is the scheduler's write-ahead log: an append-only JSONL file,
+// fsync'd per record, holding every job's submit/start/requeue/terminal
+// transitions. On open, the existing file is replayed — jobs with no
+// terminal record are the crash survivors — and compacted down to just
+// those survivors, so the journal never grows across restarts.
+//
+// Append-path durability is deliberate: Submit is acknowledged to the
+// client only after its journal record is on disk, which is what makes
+// "a 201 response means the job survives kill -9" true.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// journalEntry is one JSONL record. Op is one of submit | start |
+// requeue | done | failed | cancelled (terminal ops mirror JobState).
+type journalEntry struct {
+	Op string `json:"op"`
+	ID string `json:"id"`
+	// Submit/requeue payload. Attempt is the number of runs begun so
+	// far (0 on first submit; a requeue after run N records N).
+	Key     string   `json:"key,omitempty"`
+	Request *Request `json:"request,omitempty"`
+	Attempt int      `json:"attempt,omitempty"`
+	// Terminal payload.
+	Err  string    `json:"err,omitempty"`
+	Time time.Time `json:"t,omitempty"`
+}
+
+// journalHeader is the version line.
+type journalHeader struct {
+	Version string `json:"version"`
+}
+
+// ReplayJob is one crash survivor recovered from a journal: a job that
+// was queued (or running: Interrupted) when the previous daemon died.
+type ReplayJob struct {
+	ID      string
+	Key     string
+	Request Request
+	// Attempt counts runs begun so far, including the interrupted one.
+	Attempt int
+	// Interrupted marks jobs that had started running: their in-flight
+	// run counts as an attempt, and they re-enqueue at the front of the
+	// recovered order just as they originally ran.
+	Interrupted bool
+}
+
+// OpenJournal opens (creating if needed) the journal at path, replays
+// any existing records into the list of crash-surviving jobs in original
+// submission order, and compacts the file down to those survivors. The
+// returned journal is open for appending.
+//
+// A torn final line — the tail of an append cut off by the crash the
+// journal exists to survive — ends replay silently; everything before it
+// is intact because each record was fsync'd before the next began.
+func OpenJournal(path string) (*Journal, []ReplayJob, error) {
+	pending, err := replayJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Compact: rewrite header + one submit record per survivor, then
+	// swap atomically. A crash inside compaction leaves either the old
+	// or the new file, both valid.
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: journal compact: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	enc := json.NewEncoder(tmp)
+	if err := enc.Encode(journalHeader{Version: JournalVersion}); err != nil {
+		tmp.Close()
+		return nil, nil, err
+	}
+	for _, rj := range pending {
+		req := rj.Request
+		// An interrupted job's in-flight run is already folded into
+		// Attempt, so a bare submit record carries it through compaction
+		// without re-bumping on the next replay.
+		e := journalEntry{Op: "submit", ID: rj.ID, Key: rj.Key, Request: &req,
+			Attempt: rj.Attempt, Time: time.Now().UTC()}
+		if err := enc.Encode(e); err != nil {
+			tmp.Close()
+			return nil, nil, err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return nil, nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, nil, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return nil, nil, err
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return nil, nil, err
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: journal open: %w", err)
+	}
+	return &Journal{f: f, path: path}, pending, nil
+}
+
+// replayJournal reads the journal at path and reduces it to the jobs
+// with no terminal record, in submission order. A missing file is an
+// empty journal.
+func replayJournal(path string) ([]ReplayJob, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: journal replay: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	if !sc.Scan() {
+		return nil, sc.Err() // empty file: fresh journal
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Version == "" {
+		return nil, fmt.Errorf("service: journal %s: malformed header %q", path, sc.Text())
+	}
+	if hdr.Version != JournalVersion {
+		return nil, fmt.Errorf("%w: file %q, this build %q", ErrJournalVersion, hdr.Version, JournalVersion)
+	}
+
+	type jobAcc struct {
+		rj      ReplayJob
+		started bool // a start record newer than the last submit/requeue
+		dead    bool
+	}
+	acc := make(map[string]*jobAcc)
+	var order []string
+	for sc.Scan() {
+		var e journalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			break // torn tail from the crash: replay what made it to disk
+		}
+		switch e.Op {
+		case "submit":
+			if e.Request == nil || e.ID == "" {
+				continue
+			}
+			acc[e.ID] = &jobAcc{rj: ReplayJob{ID: e.ID, Key: e.Key, Request: *e.Request, Attempt: e.Attempt}}
+			order = append(order, e.ID)
+		case "start":
+			if a := acc[e.ID]; a != nil {
+				a.started = true
+			}
+		case "requeue":
+			if a := acc[e.ID]; a != nil {
+				a.started = false
+				a.rj.Attempt = e.Attempt
+			}
+		case "done", "failed", "cancelled":
+			if a := acc[e.ID]; a != nil {
+				a.dead = true
+			}
+		}
+	}
+
+	var pending []ReplayJob
+	for _, id := range order {
+		a := acc[id]
+		if a == nil || a.dead {
+			continue
+		}
+		if a.started {
+			a.rj.Attempt++
+			a.rj.Interrupted = true
+		}
+		pending = append(pending, a.rj)
+	}
+	return pending, nil
+}
+
+// append writes one record and fsyncs it. The scheduler treats append
+// failures as non-fatal (the job still runs; it just loses crash
+// durability), so append only reports the error for logging/counting.
+func (j *Journal) append(e journalEntry) error {
+	if j == nil {
+		return nil
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("service: journal closed")
+	}
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Submit records a job's acceptance. Attempt is the runs-begun count
+// (0 for a fresh submission).
+func (j *Journal) Submit(id, key string, req Request, attempt int) error {
+	return j.append(journalEntry{Op: "submit", ID: id, Key: key, Request: &req,
+		Attempt: attempt, Time: time.Now().UTC()})
+}
+
+// Start records that a run of the job has begun.
+func (j *Journal) Start(id string) error {
+	return j.append(journalEntry{Op: "start", ID: id})
+}
+
+// Requeue records a transient failure put back on the queue; attempt is
+// the runs-begun count at the time of requeue.
+func (j *Journal) Requeue(id string, attempt int) error {
+	return j.append(journalEntry{Op: "requeue", ID: id, Attempt: attempt})
+}
+
+// Terminal records a job reaching state done, failed or cancelled.
+// Replay drops such jobs, so a crash after this record never re-runs
+// the work.
+func (j *Journal) Terminal(id string, state JobState, errMsg string) error {
+	return j.append(journalEntry{Op: string(state), ID: id, Err: errMsg, Time: time.Now().UTC()})
+}
+
+// Close stops the journal; later appends fail.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// syncDir fsyncs a directory so a just-renamed file inside it survives
+// power loss (shared by the journal and the result store's disk tier).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func journalPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "journal.jsonl")
+}
+
+// TestJournalRoundTrip: replay re-surfaces exactly the jobs with no
+// terminal record — queued jobs as-is, started jobs as interrupted with
+// their in-flight run counted — and drops terminal jobs; compaction
+// shrinks the file to the survivors; a second replay does not bump
+// attempts again.
+func TestJournalRoundTrip(t *testing.T) {
+	path := journalPath(t)
+	j, pending, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("fresh journal replayed %d jobs", len(pending))
+	}
+
+	req := func(seed int64) Request { return Request{Experiment: "table1", Seed: seed} }
+	// j1: running at crash. j2: still queued. j3: finished. j4: failed
+	// once, requeued, waiting for its retry. j5: requeued then running
+	// again. j6: cancelled while queued.
+	for _, step := range []func() error{
+		func() error { return j.Submit("j000001", testKey(0), req(1), 0) },
+		func() error { return j.Submit("j000002", testKey(1), req(2), 0) },
+		func() error { return j.Start("j000001") },
+		func() error { return j.Submit("j000003", testKey(2), req(3), 0) },
+		func() error { return j.Start("j000003") },
+		func() error { return j.Terminal("j000003", JobDone, "") },
+		func() error { return j.Submit("j000004", testKey(3), req(4), 0) },
+		func() error { return j.Start("j000004") },
+		func() error { return j.Requeue("j000004", 1) },
+		func() error { return j.Submit("j000005", testKey(4), req(5), 0) },
+		func() error { return j.Start("j000005") },
+		func() error { return j.Requeue("j000005", 1) },
+		func() error { return j.Start("j000005") },
+		func() error { return j.Submit("j000006", testKey(5), req(6), 0) },
+		func() error { return j.Terminal("j000006", JobCancelled, "cancelled while queued") },
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, pending, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ReplayJob{
+		{ID: "j000001", Key: testKey(0), Request: req(1), Attempt: 1, Interrupted: true},
+		{ID: "j000002", Key: testKey(1), Request: req(2), Attempt: 0},
+		{ID: "j000004", Key: testKey(3), Request: req(4), Attempt: 1},
+		{ID: "j000005", Key: testKey(4), Request: req(5), Attempt: 2, Interrupted: true},
+	}
+	if len(pending) != len(want) {
+		t.Fatalf("replayed %d jobs %+v, want %d", len(pending), pending, len(want))
+	}
+	for i, w := range want {
+		got := pending[i]
+		if got.ID != w.ID || got.Key != w.Key || got.Attempt != w.Attempt ||
+			got.Interrupted != w.Interrupted || got.Request.Seed != w.Request.Seed {
+			t.Errorf("pending[%d] = %+v, want %+v", i, got, w)
+		}
+	}
+
+	// Compaction: header + one submit line per survivor.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(b), "\n"); lines != 1+len(want) {
+		t.Fatalf("compacted journal has %d lines:\n%s", lines, b)
+	}
+
+	// Replaying the compacted journal again must not double-bump
+	// attempts of previously interrupted jobs (they carry no start
+	// record after compaction).
+	_, again, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(want) {
+		t.Fatalf("second replay returned %d jobs", len(again))
+	}
+	if again[0].Attempt != 1 || again[0].Interrupted {
+		t.Fatalf("second replay re-bumped j000001: %+v", again[0])
+	}
+	if again[3].Attempt != 2 {
+		t.Fatalf("second replay changed j000005 attempts: %+v", again[3])
+	}
+}
+
+// TestJournalTornTail: a partial final line — the write a crash cut off —
+// ends replay cleanly instead of failing it; every fsync'd record before
+// the tear is recovered.
+func TestJournalTornTail(t *testing.T) {
+	path := journalPath(t)
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Submit("j000001", testKey(0), Request{Experiment: "table1"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Submit("j000002", testKey(1), Request{Experiment: "table1", Seed: 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"done","id":"j0000`); err != nil { // torn mid-record
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, pending, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 2 {
+		t.Fatalf("torn-tail replay recovered %d jobs, want 2: %+v", len(pending), pending)
+	}
+}
+
+// TestJournalVersionMismatch: a journal from another format version
+// refuses to replay rather than resurrecting jobs under different rules.
+func TestJournalVersionMismatch(t *testing.T) {
+	path := journalPath(t)
+	if err := os.WriteFile(path, []byte(`{"version":"acbd-journal/0"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path); !errors.Is(err, ErrJournalVersion) {
+		t.Fatalf("err = %v, want ErrJournalVersion", err)
+	}
+
+	// A malformed header is also refused, not silently emptied.
+	if err := os.WriteFile(path, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path); err == nil {
+		t.Fatal("malformed header accepted")
+	}
+}
+
+// TestJournalClosedAppend: appends after Close fail loudly (the
+// scheduler counts them) instead of writing to a dead descriptor.
+func TestJournalClosedAppend(t *testing.T) {
+	j, _, err := OpenJournal(journalPath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Submit("j000001", testKey(0), Request{Experiment: "table1"}, 0); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+	// A nil journal is a silent no-op everywhere.
+	var nj *Journal
+	if err := nj.Submit("x", "", Request{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := nj.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

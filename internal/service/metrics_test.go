@@ -112,6 +112,7 @@ func TestMetricsExposition(t *testing.T) {
 	for _, want := range []string{
 		"acbd_simulations_total", "acbd_sim_seconds_total", "acbd_wall_seconds_total",
 		"acbd_cpi_cycles_total", "acbd_job_duration_seconds",
+		"acbd_job_retries_total", "acbd_store_disk_errors_total",
 	} {
 		if _, ok := types[want]; !ok {
 			t.Errorf("missing TYPE declaration for %s", want)

@@ -48,6 +48,12 @@ type Request struct {
 	// Seed is reserved for future stochastic workloads; today every
 	// workload is seed-deterministic and Seed only perturbs the key.
 	Seed int64 `json:"seed,omitempty"`
+	// TimeoutMS is the job's deadline in milliseconds, capped by the
+	// server's -max-timeout; 0 falls back to the server default. The
+	// timeout never affects the result, so it is deliberately excluded
+	// from the content-address key: the same work under a different
+	// deadline is still the same work.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // normalize applies defaults and canonicalizes the request in place so
@@ -58,6 +64,9 @@ func (r *Request) normalize() error {
 	}
 	if r.Budget < 0 {
 		return fmt.Errorf("service: negative budget %d", r.Budget)
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("service: negative timeout_ms %d", r.TimeoutMS)
 	}
 	if r.Budget == 0 {
 		r.Budget = DefaultBudget

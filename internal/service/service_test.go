@@ -500,16 +500,33 @@ func TestServiceTableJobsNoBudget(t *testing.T) {
 func TestJobStatusJSONShape(t *testing.T) {
 	now := time.Now()
 	b, err := json.Marshal(JobStatus{ID: "j000001", State: JobRunning, Experiment: "fig6",
-		Request: Request{Experiment: "fig6"}, ResultKey: testKey(0), Created: now, Started: &now})
+		Request: Request{Experiment: "fig6"}, ResultKey: testKey(0), Created: now, Started: &now,
+		Attempts: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, field := range []string{`"id"`, `"state"`, `"experiment"`, `"request"`, `"result_key"`, `"created"`, `"started"`} {
+	for _, field := range []string{`"id"`, `"state"`, `"experiment"`, `"request"`, `"result_key"`, `"created"`, `"started"`, `"attempts"`} {
 		if !bytes.Contains(b, []byte(field)) {
 			t.Errorf("JobStatus JSON missing %s: %s", field, b)
 		}
 	}
 	if bytes.Contains(b, []byte(`"finished"`)) {
 		t.Errorf("unfinished job serialized a finished time: %s", b)
+	}
+
+	// A failed job carries its error classification; a healthy one omits it.
+	b, err = json.Marshal(JobStatus{ID: "j000002", State: JobFailed, Error: "boom",
+		ErrorKind: ErrKindTransient, Attempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"error"`, `"error_kind"`} {
+		if !bytes.Contains(b, []byte(field)) {
+			t.Errorf("failed JobStatus JSON missing %s: %s", field, b)
+		}
+	}
+	b, _ = json.Marshal(JobStatus{ID: "j000003", State: JobDone})
+	if bytes.Contains(b, []byte(`"error_kind"`)) {
+		t.Errorf("healthy job serialized an error kind: %s", b)
 	}
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -19,13 +20,15 @@ import (
 // temp-file-and-rename), which makes graceful shutdown persistence a
 // no-op and lets a crashed daemon restart warm.
 type Store struct {
-	mu     sync.Mutex
-	cap    int
-	ll     *list.List // front = most recently used
-	byKey  map[string]*list.Element
-	dir    string // "" disables the disk tier
-	hits   int64  // memory + disk hits
-	misses int64
+	mu       sync.Mutex
+	cap      int
+	ll       *list.List // front = most recently used
+	byKey    map[string]*list.Element
+	dir      string // "" disables the disk tier
+	hits     int64  // memory + disk hits
+	misses   int64
+	diskErrs int64       // failed persists + unreadable/corrupt loads
+	faults   FaultPoints // nil outside chaos tests
 }
 
 type storeEntry struct {
@@ -143,6 +146,39 @@ func (s *Store) Stats() (hits, misses int64) {
 	return s.hits, s.misses
 }
 
+// DiskErrors returns the cumulative count of disk-tier failures: persist
+// errors plus load-side read failures and corrupt files (which are
+// served as misses but must not be invisible to operators).
+func (s *Store) DiskErrors() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.diskErrs
+}
+
+// SetFaults installs the fault-injection hook fired inside persist
+// ("store.persist") and load ("store.load"); chaos tests only.
+func (s *Store) SetFaults(f FaultPoints) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = f
+}
+
+func (s *Store) fire(point string) error {
+	s.mu.Lock()
+	f := s.faults
+	s.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f.Fire(point)
+}
+
+func (s *Store) countDiskErr() {
+	s.mu.Lock()
+	s.diskErrs++
+	s.mu.Unlock()
+}
+
 func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key+".json")
 }
@@ -159,26 +195,49 @@ func validKey(key string) bool {
 }
 
 // load reads one result from the disk tier; nil on any miss, version
-// mismatch, or decode error (a corrupt file is a miss, not a failure).
+// mismatch, or decode error (a corrupt file is served as a miss, not a
+// failure, but read errors and corruption are counted in DiskErrors —
+// a version mismatch is expected after a SimVersion bump and is not).
 // Callers have already validated the key.
 func (s *Store) load(key string) *stats.Table {
 	if s.dir == "" {
 		return nil
 	}
+	if err := s.fire("store.load"); err != nil {
+		s.countDiskErr()
+		return nil
+	}
 	b, err := os.ReadFile(s.path(key))
 	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.countDiskErr()
+		}
 		return nil
 	}
 	var sr storedResult
-	if err := json.Unmarshal(b, &sr); err != nil || sr.Version != SimVersion || sr.Table == nil {
+	if err := json.Unmarshal(b, &sr); err != nil || (sr.Version == SimVersion && sr.Table == nil) {
+		s.countDiskErr()
+		return nil
+	}
+	if sr.Version != SimVersion {
 		return nil
 	}
 	return sr.Table
 }
 
-// persist writes one result file atomically. Callers have already
-// validated the key.
-func (s *Store) persist(key string, req Request, tab *stats.Table) error {
+// persist writes one result file atomically and durably: the temp file
+// is fsync'd before the rename and the directory after it, so a result
+// acknowledged as stored survives power loss. Callers have already
+// validated the key; persist failures are counted in DiskErrors.
+func (s *Store) persist(key string, req Request, tab *stats.Table) (err error) {
+	defer func() {
+		if err != nil {
+			s.countDiskErr()
+		}
+	}()
+	if err := s.fire("store.persist"); err != nil {
+		return err
+	}
 	b, err := json.MarshalIndent(storedResult{
 		Version: SimVersion,
 		Key:     key,
@@ -197,8 +256,15 @@ func (s *Store) persist(key string, req Request, tab *stats.Table) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), s.path(key))
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		return err
+	}
+	return syncDir(s.dir)
 }

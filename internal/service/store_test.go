@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"acb/internal/faultinject"
 	"acb/internal/stats"
 )
 
@@ -97,6 +98,92 @@ func TestStoreDiskTier(t *testing.T) {
 	}
 	if _, ok := s2.Get(stale); ok {
 		t.Fatal("stale-version file served as a result")
+	}
+}
+
+// TestStoreDiskErrors: corrupt files and injected persist/load failures
+// are counted so operators can see a sick disk tier, while an expected
+// version mismatch after a SimVersion bump is not.
+func TestStoreDiskErrors(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt file: served as a miss, counted as a disk error.
+	bad := testKey(0)
+	if err := os.WriteFile(filepath.Join(dir, bad+".json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(bad); ok {
+		t.Fatal("corrupt file served")
+	}
+	if got := s.DiskErrors(); got != 1 {
+		t.Fatalf("disk errors after corrupt load = %d, want 1", got)
+	}
+
+	// Version mismatch: an expected miss after a key-scheme bump, NOT an
+	// error.
+	stale := testKey(1)
+	b, _ := json.Marshal(storedResult{Version: "acb-sim/0", Key: stale, Table: testTable("old")})
+	if err := os.WriteFile(filepath.Join(dir, stale+".json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(stale); ok {
+		t.Fatal("stale-version file served")
+	}
+	if got := s.DiskErrors(); got != 1 {
+		t.Fatalf("disk errors after version-mismatch load = %d, want 1 (mismatch must not count)", got)
+	}
+
+	// Current-version envelope with no table: corruption, counted.
+	empty := testKey(2)
+	b, _ = json.Marshal(storedResult{Version: SimVersion, Key: empty})
+	if err := os.WriteFile(filepath.Join(dir, empty+".json"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(empty); ok {
+		t.Fatal("tableless file served")
+	}
+	if got := s.DiskErrors(); got != 2 {
+		t.Fatalf("disk errors after tableless load = %d, want 2", got)
+	}
+
+	// Injected persist failure: Put reports it and it is counted.
+	inj := faultinject.New(1)
+	inj.Set("store.persist", faultinject.Rule{Nth: 1, Limit: 1})
+	s.SetFaults(inj)
+	if err := s.Put(testKey(3), Request{Experiment: "table1"}, testTable("doomed")); !faultinject.IsInjected(err) {
+		t.Fatalf("Put under injected persist fault returned %v, want injected error", err)
+	}
+	if got := s.DiskErrors(); got != 3 {
+		t.Fatalf("disk errors after injected persist = %d, want 3", got)
+	}
+	// The injection budget (limit=1) is spent: the same Put now succeeds
+	// and the result is durable.
+	if err := s.Put(testKey(3), Request{Experiment: "table1"}, testTable("saved")); err != nil {
+		t.Fatalf("Put after fault budget spent: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, testKey(3)+".json")); err != nil {
+		t.Fatalf("result not persisted after retry: %v", err)
+	}
+
+	// Injected load failure: served as a miss, counted.
+	inj.Set("store.load", faultinject.Rule{Nth: 1, Limit: 1})
+	s2, err := NewStore(4, dir) // cold memory tier, forces a disk load
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.SetFaults(inj)
+	if _, ok := s2.Get(testKey(3)); ok {
+		t.Fatal("injected load fault did not miss")
+	}
+	if got := s2.DiskErrors(); got != 1 {
+		t.Fatalf("disk errors after injected load = %d, want 1", got)
+	}
+	if _, ok := s2.Get(testKey(3)); !ok {
+		t.Fatal("load failed after fault budget spent")
 	}
 }
 
