@@ -1,0 +1,115 @@
+// Command acbfuzz runs differential fuzz campaigns against the simulator:
+// seeded random programs are executed by the functional emulator (ground
+// truth), the OOO baseline, and the OOO with forced and learned dynamic
+// predication, asserting identical final architectural state plus the
+// invariant pack on every run. Failures are minimized and written as
+// replayable JSON corpus files.
+//
+// Usage:
+//
+//	acbfuzz -n 10000 -seed 1 -jobs 8
+//	acbfuzz -duration 60s -jobs 2 -corpus-out /tmp/corpus
+//	acbfuzz -configs baseline,forced,acb-hot -n 500
+//	acbfuzz -emit-seed-corpus internal/difftest/testdata
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"acb/internal/difftest"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 1000, "number of programs to check (ignored with -duration)")
+		seed      = flag.Uint64("seed", 1, "campaign seed; program i uses seed+i")
+		jobs      = flag.Int("jobs", 0, "concurrent checks (0 = GOMAXPROCS)")
+		duration  = flag.Duration("duration", 0, "run until this deadline instead of a fixed count")
+		configs   = flag.String("configs", "", "comma-separated engine subset (default: full matrix: "+difftest.EngineNames()+")")
+		gen       = flag.String("gen", "default", "generator shape: default | recon")
+		shrink    = flag.Bool("shrink", true, "minimize failing programs before reporting")
+		corpusOut = flag.String("corpus-out", "", "directory for failure repro files")
+		emitSeed  = flag.String("emit-seed-corpus", "", "write the curated seed corpus to this directory and exit")
+		verbose   = flag.Bool("v", false, "log per-batch progress")
+	)
+	flag.Parse()
+
+	if *emitSeed != "" {
+		if err := emitSeedCorpus(*emitSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "acbfuzz:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	opts := difftest.CampaignOptions{
+		Seed:      *seed,
+		N:         *n,
+		Duration:  *duration,
+		Jobs:      *jobs,
+		Shrink:    *shrink,
+		CorpusDir: *corpusOut,
+	}
+	switch *gen {
+	case "default":
+		opts.Gen = difftest.DefaultGenConfig()
+	case "recon":
+		opts.Gen = difftest.ReconvergenceGenConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "acbfuzz: unknown -gen %q (want default or recon)\n", *gen)
+		os.Exit(2)
+	}
+	if *configs != "" {
+		matrix, err := difftest.MatrixByNames(strings.Split(*configs, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acbfuzz:", err)
+			os.Exit(2)
+		}
+		opts.Check.Matrix = matrix
+	}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	start := time.Now()
+	res, err := difftest.RunCampaign(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acbfuzz:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("acbfuzz: seed %d: %s in %s\n", *seed, res.Summary(), time.Since(start).Round(time.Millisecond))
+	if !res.OK() {
+		for _, f := range res.Failures {
+			loc := ""
+			if f.File != "" {
+				loc = " -> " + f.File
+			}
+			fmt.Printf("  seed %d (%d nodes after shrink): %s%s\n",
+				f.Seed, difftest.CountNodes(f.Prog.Nodes), f.Report.Failures[0], loc)
+		}
+		os.Exit(1)
+	}
+}
+
+func emitSeedCorpus(dir string) error {
+	entries := difftest.SeedCorpus()
+	for i, e := range entries {
+		rep := difftest.Check(e.Prog, difftest.Options{})
+		if !rep.OK() {
+			return fmt.Errorf("seed corpus entry %s fails its own check: %s", e.Name, rep.Failures[0])
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%02d-%s.json", i, e.Name))
+		if err := difftest.WriteCorpusFile(path, e); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d steps)\n", path, rep.Steps)
+	}
+	return nil
+}

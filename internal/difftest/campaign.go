@@ -1,0 +1,175 @@
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"acb/internal/experiments"
+)
+
+// CampaignOptions parameterizes a fuzz campaign: a deterministic seed
+// schedule (program i uses seed Seed+i), a target program count or wall
+// deadline, and the worker pool shared with the experiment runner.
+type CampaignOptions struct {
+	Seed     uint64
+	N        int           // program count; ignored when Duration > 0
+	Duration time.Duration // run batches until the deadline when > 0
+	Jobs     int           // concurrent checks (0 = GOMAXPROCS)
+	Gen      GenConfig     // zero = DefaultGenConfig()
+	Check    Options
+
+	Shrink       bool   // minimize failures before reporting
+	ShrinkBudget int    // Check calls per shrink (0 = 400)
+	MaxShrunk    int    // failures to shrink before reporting raw (0 = 20)
+	CorpusDir    string // write failure repros here when non-empty
+
+	Logf    func(format string, args ...any) // nil = silent
+	Context context.Context
+}
+
+// CampaignFailure is one failing program, shrunk when requested.
+type CampaignFailure struct {
+	Seed   uint64  `json:"seed"`
+	Prog   *Prog   `json:"prog"`
+	Report *Report `json:"report"`
+	File   string  `json:"file,omitempty"` // corpus path when written
+}
+
+// CampaignResult aggregates a campaign. The machinery counters prove the
+// run exercised the paper's mechanisms rather than vacuously passing.
+type CampaignResult struct {
+	Programs int64 `json:"programs"`
+	Steps    int64 `json:"steps"`
+
+	Predications   int64 `json:"predications"`
+	DivFlushes     int64 `json:"div_flushes"`
+	TransparentOps int64 `json:"transparent_ops"`
+	SelectUops     int64 `json:"select_uops"`
+	InvalidatedMem int64 `json:"invalidated_mem"`
+
+	Failures []*CampaignFailure `json:"failures,omitempty"`
+}
+
+// OK reports whether the campaign found no failures.
+func (r *CampaignResult) OK() bool { return len(r.Failures) == 0 }
+
+// Summary renders a one-paragraph campaign report.
+func (r *CampaignResult) Summary() string {
+	return fmt.Sprintf(
+		"%d programs, %d functional steps: %d predications, %d divergence flushes, "+
+			"%d transparent ops, %d select µops, %d invalidated mem ops; %d failures",
+		r.Programs, r.Steps, r.Predications, r.DivFlushes,
+		r.TransparentOps, r.SelectUops, r.InvalidatedMem, len(r.Failures))
+}
+
+func (o *CampaignOptions) fill() {
+	if o.N <= 0 && o.Duration <= 0 {
+		o.N = 1000
+	}
+	if o.Gen.MaxTopNodes == 0 {
+		o.Gen = DefaultGenConfig()
+	}
+	if o.ShrinkBudget <= 0 {
+		o.ShrinkBudget = 400
+	}
+	if o.MaxShrunk <= 0 {
+		o.MaxShrunk = 20
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
+	}
+}
+
+// RunCampaign generates and differentially checks programs until the count
+// or deadline is reached. Checks run on the experiments worker pool;
+// aggregation is by slot index, so a fixed (Seed, N) campaign is
+// deterministic regardless of scheduling. Failures are shrunk (bounded by
+// MaxShrunk) and written to CorpusDir as replayable JSON.
+func RunCampaign(o CampaignOptions) (*CampaignResult, error) {
+	o.fill()
+	res := &CampaignResult{}
+
+	runBatch := func(base uint64, n int) error {
+		reports := make([]*Report, n)
+		progs := make([]*Prog, n)
+		err := experiments.Pool(experiments.Options{Jobs: o.Jobs, Context: o.Context}, n, func(i int) {
+			p := Generate(base+uint64(i), o.Gen)
+			progs[i] = p
+			reports[i] = Check(p, o.Check)
+		})
+		for i, r := range reports {
+			if r == nil {
+				continue // slot cancelled before it ran
+			}
+			res.Programs++
+			res.Steps += r.Steps
+			res.Predications += r.Predications
+			res.DivFlushes += r.DivFlushes
+			res.TransparentOps += r.TransparentOps
+			res.SelectUops += r.SelectUops
+			res.InvalidatedMem += r.InvalidatedMem
+			if !r.OK() {
+				o.recordFailure(res, progs[i], r)
+			}
+		}
+		return err
+	}
+
+	if o.Duration > 0 {
+		deadline := time.Now().Add(o.Duration)
+		batch := o.Jobs
+		if batch <= 0 {
+			batch = 4
+		}
+		batch *= 8
+		base := o.Seed
+		for time.Now().Before(deadline) && o.Context.Err() == nil {
+			if err := runBatch(base, batch); err != nil {
+				return res, err
+			}
+			base += uint64(batch)
+			o.Logf("difftest: %d programs checked, %d failures", res.Programs, len(res.Failures))
+		}
+		return res, nil
+	}
+
+	err := runBatch(o.Seed, o.N)
+	o.Logf("difftest: %s", res.Summary())
+	return res, err
+}
+
+// recordFailure shrinks (budget permitting), persists, and records one
+// failing program.
+func (o *CampaignOptions) recordFailure(res *CampaignResult, p *Prog, rep *Report) {
+	f := &CampaignFailure{Seed: p.Seed, Prog: p, Report: rep}
+	if o.Shrink && len(res.Failures) < o.MaxShrunk {
+		o.Logf("difftest: seed %d failed (%s), shrinking", p.Seed, rep.Failures[0])
+		f.Prog, f.Report = Shrink(p, o.Check, o.ShrinkBudget)
+		if f.Report.OK() {
+			// A reduction passing here means the failure did not reproduce
+			// under re-check; keep the original evidence.
+			f.Prog, f.Report = p, rep
+		}
+	} else {
+		o.Logf("difftest: seed %d failed (%s)", p.Seed, rep.Failures[0])
+	}
+	if o.CorpusDir != "" {
+		path := filepath.Join(o.CorpusDir, fmt.Sprintf("failure-seed%d.json", p.Seed))
+		e := &CorpusEntry{
+			Name: fmt.Sprintf("failure-seed%d", p.Seed),
+			Desc: "minimized fuzz failure: " + f.Report.Failures[0].String(),
+			Prog: f.Prog,
+		}
+		if err := WriteCorpusFile(path, e); err != nil {
+			o.Logf("difftest: writing %s: %v", path, err)
+		} else {
+			f.File = path
+		}
+	}
+	res.Failures = append(res.Failures, f)
+}

@@ -1,0 +1,73 @@
+package difftest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CorpusEntry is one stored program: a name, a one-line note about what it
+// reproduces or pins, and the program itself. Entries live as indented
+// JSON under internal/difftest/testdata/ and are replayed by go test.
+type CorpusEntry struct {
+	Name string `json:"name"`
+	Desc string `json:"desc,omitempty"`
+	Prog *Prog  `json:"prog"`
+}
+
+// WriteCorpusFile stores an entry as indented JSON at path, creating the
+// directory when needed.
+func WriteCorpusFile(path string, e *CorpusEntry) error {
+	if e.Prog == nil {
+		return fmt.Errorf("difftest: corpus entry %q has no program", e.Name)
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadCorpusFile reads one entry.
+func LoadCorpusFile(path string) (*CorpusEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var e CorpusEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("difftest: corpus file %s: %w", path, err)
+	}
+	if e.Prog == nil {
+		return nil, fmt.Errorf("difftest: corpus file %s has no program", path)
+	}
+	if e.Name == "" {
+		e.Name = strings.TrimSuffix(filepath.Base(path), ".json")
+	}
+	return &e, nil
+}
+
+// LoadCorpusDir reads every .json entry in dir, sorted by filename. A
+// missing directory is an empty corpus, not an error.
+func LoadCorpusDir(dir string) ([]*CorpusEntry, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var out []*CorpusEntry
+	for _, name := range names {
+		e, err := LoadCorpusFile(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

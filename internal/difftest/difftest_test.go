@@ -1,0 +1,235 @@
+package difftest
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"acb/internal/isa"
+)
+
+// fastMatrix is the engine subset unit tests use: every forced-predication
+// mode plus the hot learning engine, skipping the redundant paper-default
+// configs to keep single-CPU test time down.
+func fastMatrix() []Engine {
+	m, err := MatrixByNames([]string{"baseline", "forced", "forced-eager", "forced-swap", "forced-div", "acb-hot"})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		a := Generate(seed, DefaultGenConfig())
+		b := Generate(seed, DefaultGenConfig())
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+		ja, _ := json.Marshal(a)
+		var back Prog
+		if err := json.Unmarshal(ja, &back); err != nil {
+			t.Fatalf("seed %d: round-trip: %v", seed, err)
+		}
+		if !reflect.DeepEqual(*a, back) {
+			t.Fatalf("seed %d: JSON round-trip changed the program", seed)
+		}
+	}
+}
+
+func TestGeneratedProgramsHaltWithinBound(t *testing.T) {
+	for seed := uint64(0); seed < 150; seed++ {
+		p := Generate(seed, DefaultGenConfig())
+		asm, err := Assemble(p)
+		if err != nil {
+			t.Fatalf("seed %d: assemble: %v", seed, err)
+		}
+		if len(asm.Sites) == 0 {
+			t.Errorf("seed %d: no predication sites", seed)
+		}
+		for _, s := range asm.Sites {
+			if s.MaxBody > maxBodyCap {
+				t.Fatalf("seed %d: site %+v exceeds body cap", seed, s)
+			}
+			if !s.Backward && s.ReconPC <= s.BranchPC {
+				t.Fatalf("seed %d: forward site %+v has recon before branch", seed, s)
+			}
+		}
+		ref := isa.NewArchState(asm.Mem.Clone())
+		steps, halted := ref.Run(asm.Insts, asm.StepBound+16)
+		if !halted {
+			t.Fatalf("seed %d: not halted after %d steps (bound %d)", seed, steps, asm.StepBound)
+		}
+	}
+}
+
+func TestAssembleRejectsBadIters(t *testing.T) {
+	if _, err := Assemble(&Prog{Iters: 0}); err == nil {
+		t.Fatal("zero iteration count accepted")
+	}
+	if _, err := Assemble(&Prog{Iters: -3}); err == nil {
+		t.Fatal("negative iteration count accepted")
+	}
+}
+
+func TestCheckSmallBatch(t *testing.T) {
+	opts := Options{Matrix: fastMatrix()}
+	var preds, divs, trans int64
+	for seed := uint64(0); seed < 12; seed++ {
+		p := Generate(seed, DefaultGenConfig())
+		rep := Check(p, opts)
+		if !rep.OK() {
+			t.Fatalf("seed %d: %v", seed, rep.Failures)
+		}
+		preds += rep.Predications
+		divs += rep.DivFlushes
+		trans += rep.TransparentOps
+	}
+	// The differential check is vacuous if the machinery never engages.
+	if preds == 0 || divs == 0 || trans == 0 {
+		t.Fatalf("machinery not exercised: %d predications, %d divergence flushes, %d transparent ops",
+			preds, divs, trans)
+	}
+}
+
+func TestSeedCorpusEntriesPass(t *testing.T) {
+	entries := SeedCorpus()
+	if len(entries) < 20 {
+		t.Fatalf("seed corpus has %d entries, want >= 20", len(entries))
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if seen[e.Name] {
+			t.Fatalf("duplicate corpus entry name %q", e.Name)
+		}
+		seen[e.Name] = true
+		rep := Check(e.Prog, Options{Matrix: fastMatrix()})
+		if !rep.OK() {
+			t.Fatalf("entry %s: %v", e.Name, rep.Failures)
+		}
+	}
+}
+
+// TestSeedCorpusReplay replays the materialized testdata corpus through
+// the full engine matrix — the regression net for every shape the corpus
+// pins. Failure entries written by campaigns (failure-seed*.json) are
+// replayed expecting their failures to still reproduce would be wrong
+// here: the curated corpus must PASS; failure repros are excluded from
+// testdata by convention.
+func TestSeedCorpusReplay(t *testing.T) {
+	entries, err := LoadCorpusDir("testdata")
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	if len(entries) < 20 {
+		t.Fatalf("testdata corpus has %d entries, want >= 20 (regenerate with acbfuzz -emit-seed-corpus)", len(entries))
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			rep := Check(e.Prog, Options{})
+			if !rep.OK() {
+				t.Fatalf("%s: %v", e.Desc, rep.Failures)
+			}
+		})
+	}
+}
+
+func TestCorpusFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := &CorpusEntry{
+		Name: "roundtrip",
+		Desc: "corpus serialization round-trip",
+		Prog: Generate(7, DefaultGenConfig()),
+	}
+	path := filepath.Join(dir, "roundtrip.json")
+	if err := WriteCorpusFile(path, want); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := LoadCorpusFile(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("entry changed across write/load")
+	}
+	all, err := LoadCorpusDir(dir)
+	if err != nil || len(all) != 1 {
+		t.Fatalf("dir load: %v (%d entries)", err, len(all))
+	}
+	if missing, err := LoadCorpusDir(filepath.Join(dir, "absent")); err != nil || len(missing) != 0 {
+		t.Fatalf("missing dir should be an empty corpus, got %v / %d", err, len(missing))
+	}
+}
+
+func TestMatrixByNames(t *testing.T) {
+	m, err := MatrixByNames([]string{"baseline", "acb"})
+	if err != nil || len(m) != 2 || m[0].Name != "baseline" || m[1].Name != "acb" {
+		t.Fatalf("got %v, %v", m, err)
+	}
+	if _, err := MatrixByNames([]string{"no-such-engine"}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestRNGIntnUnbiased(t *testing.T) {
+	r := NewRNG(42)
+	const n, draws = 6, 60000
+	var hist [n]int
+	for i := 0; i < draws; i++ {
+		hist[r.Intn(n)]++
+	}
+	for v, c := range hist {
+		if c < draws/n-draws/20 || c > draws/n+draws/20 {
+			t.Fatalf("value %d drawn %d times out of %d (expected ~%d)", v, c, draws, draws/n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGSeedZeroValid(t *testing.T) {
+	r := NewRNG(0)
+	a, b := r.Uint64(), r.Uint64()
+	if a == 0 && b == 0 {
+		t.Fatal("seed 0 produced a stuck stream")
+	}
+}
+
+func TestRandomSpecDeterministic(t *testing.T) {
+	a, b := RandomSpec(99), RandomSpec(99)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("RandomSpec not deterministic")
+	}
+	if len(a.Hammocks) == 0 {
+		t.Fatal("RandomSpec produced no hammocks")
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	run := func() *CampaignResult {
+		res, err := RunCampaign(CampaignOptions{
+			Seed: 3, N: 6, Jobs: 2,
+			Check: Options{Matrix: fastMatrix()},
+		})
+		if err != nil {
+			t.Fatalf("campaign: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Summary() != b.Summary() {
+		t.Fatalf("campaign not deterministic:\n%s\n%s", a.Summary(), b.Summary())
+	}
+	if !a.OK() {
+		t.Fatalf("campaign failures: %v", a.Failures)
+	}
+	if a.Programs != 6 {
+		t.Fatalf("ran %d programs, want 6", a.Programs)
+	}
+}

@@ -1,0 +1,47 @@
+package difftest
+
+import "testing"
+
+// FuzzACBTransparency is the native-fuzzing entry point for the
+// architectural-transparency oracle: each input seed derives a program,
+// which every engine of the fast matrix must retire with exactly the
+// functional emulator's final state. Run with
+//
+//	go test -fuzz FuzzACBTransparency ./internal/difftest
+func FuzzACBTransparency(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(42))
+	f.Add(uint64(0xDEADBEEF))
+	opts := Options{Matrix: fastMatrix()}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		p := Generate(seed, DefaultGenConfig())
+		if rep := Check(p, opts); !rep.OK() {
+			shrunk, srep := Shrink(p, opts, 120)
+			t.Fatalf("seed %d: %v (shrunk to %d nodes, iters %d: %v)",
+				seed, rep.Failures, CountNodes(shrunk.Nodes), shrunk.Iters, srep.Failures)
+		}
+	})
+}
+
+// FuzzReconvergence biases generation toward merge-point stress — deep
+// nesting, Type-3 perspective swaps, backward branches — and checks the
+// forced engines that predicate every site, including the forced-
+// divergence variant that exercises recovery on every instance.
+func FuzzReconvergence(f *testing.F) {
+	f.Add(uint64(2))
+	f.Add(uint64(77))
+	f.Add(uint64(0xACB))
+	matrix, err := MatrixByNames([]string{"forced", "forced-swap", "forced-div"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	opts := Options{Matrix: matrix}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		p := Generate(seed, ReconvergenceGenConfig())
+		if rep := Check(p, opts); !rep.OK() {
+			shrunk, srep := Shrink(p, opts, 120)
+			t.Fatalf("seed %d: %v (shrunk to %d nodes, iters %d: %v)",
+				seed, rep.Failures, CountNodes(shrunk.Nodes), shrunk.Iters, srep.Failures)
+		}
+	})
+}

@@ -1,0 +1,601 @@
+package difftest
+
+import (
+	"fmt"
+
+	"acb/internal/isa"
+	"acb/internal/prog"
+)
+
+// Prog is the fuzzer's serializable program representation: an outer
+// counted loop whose body is a tree of ALU ops, aliasing loads/stores,
+// hammocks (nested, sibling, overlapping) and inner loops with backward
+// branches. Every branch is either a forward hammock branch with a static
+// merge point or a bounded counted loop, so halt-reachability holds by
+// construction. Assemble lowers the tree onto prog.Builder and reports the
+// exact predication sites (branch PC, reconvergence PC, fetch-first
+// direction, body bound) the shape implies — the ground truth the forced
+// engines predicate with and ACB's Learning Table is supposed to discover.
+type Prog struct {
+	Seed  uint64 `json:"seed"`  // data seed: memory image + initial registers
+	Iters int64  `json:"iters"` // outer loop trip count
+	Nodes []Node `json:"nodes"`
+}
+
+// Node kinds.
+const (
+	KindALU     = "alu"
+	KindLoad    = "load"
+	KindStore   = "store"
+	KindHammock = "hammock"
+	KindLoop    = "loop"
+)
+
+// Hammock shapes.
+const (
+	ShapeIf      = "if"      // Type-1: IF without ELSE (branch target == merge)
+	ShapeIfElse  = "ifelse"  // Type-2: IF-ELSE with a skip jump
+	ShapeType3   = "type3"   // Type-3: taken path beyond the merge, jumping back
+	ShapeOverlap = "overlap" // IF body containing an early-out branch to the same merge
+)
+
+// Node is one element of the program tree. Register fields index the pool
+// registers (r5..r12); immediates are small constants. Unused fields stay
+// zero and are omitted from JSON, keeping corpus files readable.
+type Node struct {
+	Kind string `json:"kind"`
+
+	// ALU: Dst = A <op> B (or <op>I with Imm).
+	Op  string `json:"op,omitempty"`
+	Dst int    `json:"dst,omitempty"`
+	A   int    `json:"a,omitempty"`
+	B   int    `json:"b,omitempty"`
+	Imm int64  `json:"imm,omitempty"`
+
+	// Load: pool[Dst] = scratch[pool[A] & slotMask].
+	// Store: scratch[pool[A] & slotMask] = pool[B].
+
+	// Hammock.
+	Shape   string `json:"shape,omitempty"`
+	CondBit int    `json:"condbit,omitempty"` // bit of the condition word (0..7)
+	Then    []Node `json:"then,omitempty"`
+	Else    []Node `json:"else,omitempty"`
+	// NoPred excludes the shape's branch from the recorded predication
+	// sites (the forced engines then speculate it normally).
+	NoPred bool `json:"nopred,omitempty"`
+
+	// Loop: Trip 1..4 repeats Body; Trip 0 draws the trip count (1..4)
+	// from the condition word at run time (data-dependent backward branch).
+	Trip int    `json:"trip,omitempty"`
+	Body []Node `json:"body,omitempty"`
+}
+
+// Memory layout. Loads and stores all land in a small shared scratch
+// region, so false-path stores, true-path loads and sibling hammocks alias
+// each other aggressively — exactly the LSQ-invalidation traffic the
+// paper's Sec. III-C3 machinery must get right.
+const (
+	condTableBase  = 0x10_0000
+	condTableWords = 256
+	scratchBase    = 0x4_0000
+	scratchWords   = 64
+	slotMask       = scratchWords - 1
+)
+
+// Register conventions (pool registers are the only ones AST nodes name):
+//
+//	r0 outer counter   r1 outer limit    r2 condition word
+//	r3 address temp    r4 cond/compare temp
+//	r5..r12 pool       r13..r15 inner-loop counters (by nesting depth)
+const (
+	numPool   = 8
+	poolBase  = 5
+	maxLoopD  = 3
+	loopBase  = 13
+	maxTrip   = 4
+	condBits  = 8
+	condABits = condTableWords - 1
+)
+
+func poolReg(i int) isa.Reg { return isa.Reg(poolBase + ((i%numPool)+numPool)%numPool) }
+
+// Site is one statically known predication site of an assembled program.
+type Site struct {
+	Kind       string // hammock shape or "loop"
+	BranchPC   int
+	ReconPC    int
+	FirstTaken bool
+	MaxBody    int  // divergence threshold covering the longer fetched path
+	Backward   bool // loop back-edge
+}
+
+// Assembled is the lowered form of a Prog.
+type Assembled struct {
+	Insts []isa.Instruction
+	Mem   *isa.Memory
+	Sites []Site
+	// StepsPerIter bounds functional steps per outer iteration (loops
+	// counted at their maximum trip); StepBound bounds the whole run.
+	StepsPerIter int64
+	StepBound    int64
+}
+
+// asmState carries assembly-time state through the tree walk.
+type asmState struct {
+	b     *prog.Builder
+	sites []Site
+	label int // unique label counter
+	site  int // site index (condition-table stride)
+	depth int // loop nesting depth
+}
+
+func (a *asmState) fresh(kind string) string {
+	a.label++
+	return fmt.Sprintf("%s%d", kind, a.label)
+}
+
+// Assemble lowers the program tree to instructions plus its initial memory
+// image and predication-site list. It is deterministic: the same Prog
+// always yields the identical program, image and sites.
+func Assemble(p *Prog) (*Assembled, error) {
+	if p.Iters <= 0 {
+		return nil, fmt.Errorf("difftest: non-positive iteration count %d", p.Iters)
+	}
+	r := NewRNG(p.Seed)
+	m := isa.NewMemory()
+	for i := int64(0); i < condTableWords; i++ {
+		m.Store(condTableBase+i*8, int64(r.Uint64()&0xFFFF))
+	}
+	for i := int64(0); i < scratchWords; i++ {
+		m.Store(scratchBase+i*8, int64(r.Uint64()&0xFFFF))
+	}
+
+	a := &asmState{b: prog.NewBuilder()}
+	b := a.b
+	b.MovI(isa.R0, 0)
+	b.MovI(isa.R1, p.Iters)
+	for i := 0; i < numPool; i++ {
+		b.MovI(poolReg(i), int64(r.Uint64()&0xFF)+1)
+	}
+	for d := 0; d < maxLoopD; d++ {
+		b.MovI(isa.Reg(loopBase+d), 0)
+	}
+
+	b.Label("outer")
+	perIter := a.emitNodes(p.Nodes)
+	b.AddI(isa.R0, isa.R0, 1)
+	b.Sub(isa.R4, isa.R0, isa.R1)
+	b.Brnz(isa.R4, "outer")
+	b.Halt()
+	perIter += 3
+
+	insts, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Assembled{
+		Insts:        insts,
+		Mem:          m,
+		Sites:        a.sites,
+		StepsPerIter: perIter,
+		StepBound:    int64(2+numPool+maxLoopD) + perIter*p.Iters + 1,
+	}, nil
+}
+
+// emitNodes emits a node list and returns its per-execution step bound.
+func (a *asmState) emitNodes(ns []Node) int64 {
+	var steps int64
+	for i := range ns {
+		steps += a.emitNode(&ns[i])
+	}
+	return steps
+}
+
+func (a *asmState) emitNode(n *Node) int64 {
+	switch n.Kind {
+	case KindALU:
+		a.emitALU(n)
+		return 1
+	case KindLoad:
+		a.emitSlotAddr(n.A)
+		a.b.Load(poolReg(n.Dst), isa.R3, 0)
+		return 5
+	case KindStore:
+		a.emitSlotAddr(n.A)
+		a.b.Store(isa.R3, 0, poolReg(n.B))
+		return 5
+	case KindHammock:
+		return a.emitHammock(n)
+	case KindLoop:
+		return a.emitLoop(n)
+	default:
+		// Unknown kinds (hand-edited corpus files) degrade to a no-op so a
+		// stale corpus cannot wedge the harness.
+		a.b.Nop()
+		return 1
+	}
+}
+
+func (a *asmState) emitALU(n *Node) {
+	b := a.b
+	d, s1, s2 := poolReg(n.Dst), poolReg(n.A), poolReg(n.B)
+	switch n.Op {
+	case "add":
+		b.Add(d, s1, s2)
+	case "sub":
+		b.Sub(d, s1, s2)
+	case "and":
+		b.And(d, s1, s2)
+	case "or":
+		b.Or(d, s1, s2)
+	case "xor":
+		b.Xor(d, s1, s2)
+	case "mul":
+		b.Mul(d, s1, s2)
+	case "div":
+		b.Div(d, s1, s2)
+	case "addi":
+		b.AddI(d, s1, n.Imm)
+	case "andi":
+		b.AndI(d, s1, n.Imm)
+	case "xori":
+		b.XorI(d, s1, n.Imm)
+	case "shri":
+		b.ShrI(d, s1, n.Imm&63)
+	case "muli":
+		b.MulI(d, s1, n.Imm)
+	case "mov":
+		b.Mov(d, s1)
+	case "movi":
+		b.MovI(d, n.Imm)
+	default:
+		b.AddI(d, s1, 1)
+	}
+}
+
+// emitSlotAddr computes r3 = scratchBase + (pool[src] & slotMask)*8.
+func (a *asmState) emitSlotAddr(src int) {
+	b := a.b
+	b.AndI(isa.R4, poolReg(src), slotMask)
+	b.MulI(isa.R4, isa.R4, 8)
+	b.MovI(isa.R3, scratchBase)
+	b.Add(isa.R3, isa.R3, isa.R4)
+}
+
+// emitCondWord loads this site's condition word into r2: a data-dependent,
+// per-iteration pseudo-random value from the condition table, with a
+// per-site stride so sibling sites see decorrelated streams.
+func (a *asmState) emitCondWord() {
+	b := a.b
+	a.site++
+	b.AddI(isa.R4, isa.R0, int64(a.site*7))
+	b.AndI(isa.R4, isa.R4, condABits)
+	b.MulI(isa.R4, isa.R4, 8)
+	b.MovI(isa.R3, condTableBase)
+	b.Add(isa.R3, isa.R3, isa.R4)
+	b.Load(isa.R2, isa.R3, 0)
+}
+
+const condWordCost = 6
+
+// emitHammock emits one hammock shape, recording its predication site.
+func (a *asmState) emitHammock(n *Node) int64 {
+	b := a.b
+	a.emitCondWord()
+	b.ShrI(isa.R4, isa.R2, int64(n.CondBit&(condBits-1)))
+	b.AndI(isa.R4, isa.R4, 1)
+	steps := int64(condWordCost + 2)
+
+	end := a.fresh("end")
+	switch n.Shape {
+	case ShapeIfElse:
+		elseL := a.fresh("else")
+		branchPC := b.PC()
+		b.Br(isa.EQZ, isa.R4, 0, elseL)
+		thenStart := b.PC()
+		thenSteps := a.emitNodes(n.Then)
+		b.Jmp(end)
+		thenLen := b.PC() - thenStart
+		b.Label(elseL)
+		elseStart := b.PC()
+		elseSteps := a.emitNodes(n.Else)
+		elseLen := b.PC() - elseStart
+		b.Label(end)
+		a.addSite(n, Site{
+			Kind: n.Shape, BranchPC: branchPC, ReconPC: b.PC(),
+			MaxBody: maxInt(thenLen, elseLen) + 8,
+		})
+		return steps + 1 + maxInt64(thenSteps+1, elseSteps)
+
+	case ShapeType3:
+		tpath := a.fresh("tpath")
+		recon := a.fresh("recon")
+		branchPC := b.PC()
+		b.Br(isa.NEZ, isa.R4, 0, tpath)
+		ntStart := b.PC()
+		ntSteps := a.emitNodes(n.Else)
+		ntLen := b.PC() - ntStart
+		b.Label(recon)
+		reconPC := b.PC()
+		b.AddI(poolReg(n.Dst), poolReg(n.Dst), 1)
+		b.Jmp(end)
+		tStart := b.PC()
+		b.Label(tpath)
+		tSteps := a.emitNodes(n.Then)
+		b.Jmp(recon)
+		tLen := b.PC() - tStart
+		b.Label(end)
+		a.addSite(n, Site{
+			Kind: n.Shape, BranchPC: branchPC, ReconPC: reconPC,
+			FirstTaken: true, MaxBody: maxInt(tLen, ntLen) + 8,
+		})
+		return steps + 1 + maxInt64(tSteps+1, ntSteps) + 2
+
+	case ShapeOverlap:
+		branchPC := b.PC()
+		b.Br(isa.EQZ, isa.R4, 0, end)
+		bodyStart := b.PC()
+		part1 := a.emitNodes(n.Then)
+		// Early-out branch into the same merge point: the inner hammock
+		// overlaps the outer one (shared reconvergence).
+		b.AndI(isa.R4, poolReg(n.B), 1)
+		b.Br(isa.NEZ, isa.R4, 0, end)
+		part2 := a.emitNodes(n.Else)
+		bodyLen := b.PC() - bodyStart
+		b.Label(end)
+		a.addSite(n, Site{
+			Kind: n.Shape, BranchPC: branchPC, ReconPC: b.PC(),
+			MaxBody: bodyLen + 8,
+		})
+		return steps + 1 + part1 + 2 + part2
+
+	default: // ShapeIf
+		branchPC := b.PC()
+		b.Br(isa.EQZ, isa.R4, 0, end)
+		bodyStart := b.PC()
+		bodySteps := a.emitNodes(n.Then)
+		bodyLen := b.PC() - bodyStart
+		b.Label(end)
+		a.addSite(n, Site{
+			Kind: ShapeIf, BranchPC: branchPC, ReconPC: b.PC(),
+			MaxBody: bodyLen + 8,
+		})
+		return steps + 1 + bodySteps
+	}
+}
+
+// emitLoop emits a counted inner loop; its back-edge is a backward
+// predication site when the unrolled walk fits a plausible body bound.
+func (a *asmState) emitLoop(n *Node) int64 {
+	b := a.b
+	if a.depth >= maxLoopD {
+		// Nesting deeper than the reserved counter registers degrades to a
+		// single body execution (hand-edited corpus safety).
+		return a.emitNodes(n.Body)
+	}
+	ctr := isa.Reg(loopBase + a.depth)
+	var steps int64
+	if n.Trip > 0 {
+		b.MovI(ctr, int64(clampInt(n.Trip, 1, maxTrip)))
+		steps++
+	} else {
+		a.emitCondWord()
+		b.AndI(isa.R4, isa.R2, maxTrip-1)
+		b.AddI(isa.R4, isa.R4, 1)
+		b.Mov(ctr, isa.R4)
+		steps += condWordCost + 3
+	}
+	top := a.fresh("loop")
+	b.Label(top)
+	bodyStart := b.PC()
+	a.depth++
+	bodySteps := a.emitNodes(n.Body)
+	a.depth--
+	b.AddI(ctr, ctr, -1)
+	branchPC := b.PC()
+	b.Br(isa.NEZ, ctr, 0, top)
+	bodyLen := b.PC() + 1 - bodyStart
+	site := Site{
+		Kind: "loop", BranchPC: branchPC, ReconPC: branchPC + 1,
+		FirstTaken: true, Backward: true,
+		MaxBody: bodyLen*maxTrip + 8,
+	}
+	if site.MaxBody <= 72 {
+		a.addSite(n, site)
+	}
+	return steps + (bodySteps+2)*maxTrip
+}
+
+// maxBodyCap bounds every recorded site's divergence threshold. Stall-mode
+// bodies occupy the issue queue until the predicated branch resolves, and
+// the branch itself cannot issue until the fetch walk closes — so both
+// phases' bodies (up to 2×MaxBody) must fit in the IQ with room to spare
+// or the pipeline wedges by construction. The paper sizes its convergence
+// window N=40 against a 97-entry IQ for exactly this reason; sites whose
+// natural body bound exceeds the cap simply diverge and recover through
+// the divergence flush, which is coverage, not a loss.
+const maxBodyCap = 40
+
+func (a *asmState) addSite(n *Node, s Site) {
+	if n.NoPred {
+		return
+	}
+	if s.MaxBody > maxBodyCap {
+		s.MaxBody = maxBodyCap
+	}
+	a.sites = append(a.sites, s)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// GenConfig parameterizes program generation.
+type GenConfig struct {
+	MaxTopNodes  int     // top-level nodes per iteration body
+	MaxBodyNodes int     // nodes per hammock/loop body
+	MaxDepth     int     // hammock/loop nesting depth
+	PHammock     float64 // probability a generated node is a hammock
+	PLoop        float64 // probability a generated node is a loop
+	PMem         float64 // probability a generated node is a load/store
+	MaxStepBound int64   // iteration count is trimmed to keep runs below this
+}
+
+// DefaultGenConfig returns the campaign generator shape: broad mix of
+// hammocks, loops, memory traffic and ALU filler.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		MaxTopNodes:  8,
+		MaxBodyNodes: 5,
+		MaxDepth:     3,
+		PHammock:     0.4,
+		PLoop:        0.15,
+		PMem:         0.2,
+		MaxStepBound: 24_000,
+	}
+}
+
+// ReconvergenceGenConfig biases generation toward the shapes that stress
+// merge-point discovery: deep nesting, Type-3 perspective swaps, dynamic
+// backward branches — the FuzzReconvergence target's diet.
+func ReconvergenceGenConfig() GenConfig {
+	return GenConfig{
+		MaxTopNodes:  6,
+		MaxBodyNodes: 4,
+		MaxDepth:     4,
+		PHammock:     0.55,
+		PLoop:        0.25,
+		PMem:         0.1,
+		MaxStepBound: 24_000,
+	}
+}
+
+var aluOps = []string{
+	"add", "sub", "and", "or", "xor", "mul", "div",
+	"addi", "andi", "xori", "shri", "muli", "mov", "movi",
+}
+
+// Generate derives a random-but-well-formed program from a seed. The same
+// (seed, cfg) always yields the same program, and the result is guaranteed
+// to halt within its assembled StepBound.
+func Generate(seed uint64, cfg GenConfig) *Prog {
+	r := NewRNG(seed ^ 0xD1FF7E57) // decorrelate structure from the data stream
+	p := &Prog{Seed: seed}
+	n := r.Range(2, cfg.MaxTopNodes)
+	for i := 0; i < n; i++ {
+		p.Nodes = append(p.Nodes, genNode(r, cfg, 0))
+	}
+	// At least one predication site per program: without a predicable
+	// hammock the differential run degenerates to plain speculation.
+	// (NoPred hammocks and oversized loops record no site, so only a
+	// hammock with NoPred unset counts.)
+	if !hasPredicableHammock(p.Nodes) {
+		h := genHammock(r, cfg, 0)
+		h.NoPred = false
+		p.Nodes = append(p.Nodes, h)
+	}
+	p.Iters = int64(r.Range(48, 256))
+	if asm, err := Assemble(p); err == nil && asm.StepsPerIter > 0 {
+		if maxIters := cfg.MaxStepBound / asm.StepsPerIter; maxIters < p.Iters {
+			p.Iters = maxInt64(maxIters, 8)
+		}
+	}
+	return p
+}
+
+func hasPredicableHammock(ns []Node) bool {
+	for i := range ns {
+		n := &ns[i]
+		if n.Kind == KindHammock && !n.NoPred {
+			return true
+		}
+		if hasPredicableHammock(n.Then) || hasPredicableHammock(n.Else) || hasPredicableHammock(n.Body) {
+			return true
+		}
+	}
+	return false
+}
+
+func genNode(r *RNG, cfg GenConfig, depth int) Node {
+	roll := r.Float64()
+	switch {
+	case depth < cfg.MaxDepth && roll < cfg.PHammock:
+		return genHammock(r, cfg, depth)
+	case depth < cfg.MaxDepth && roll < cfg.PHammock+cfg.PLoop:
+		return genLoop(r, cfg, depth)
+	case roll < cfg.PHammock+cfg.PLoop+cfg.PMem:
+		if r.Bool(0.5) {
+			return Node{Kind: KindLoad, Dst: r.Intn(numPool), A: r.Intn(numPool)}
+		}
+		return Node{Kind: KindStore, A: r.Intn(numPool), B: r.Intn(numPool)}
+	default:
+		return genALU(r)
+	}
+}
+
+func genALU(r *RNG) Node {
+	return Node{
+		Kind: KindALU,
+		Op:   aluOps[r.Intn(len(aluOps))],
+		Dst:  r.Intn(numPool),
+		A:    r.Intn(numPool),
+		B:    r.Intn(numPool),
+		Imm:  int64(r.Range(1, 63)),
+	}
+}
+
+func genBody(r *RNG, cfg GenConfig, depth int) []Node {
+	n := r.Range(1, cfg.MaxBodyNodes)
+	out := make([]Node, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, genNode(r, cfg, depth))
+	}
+	return out
+}
+
+func genHammock(r *RNG, cfg GenConfig, depth int) Node {
+	shapes := []string{ShapeIf, ShapeIfElse, ShapeIfElse, ShapeType3, ShapeOverlap}
+	n := Node{
+		Kind:    KindHammock,
+		Shape:   shapes[r.Intn(len(shapes))],
+		CondBit: r.Intn(condBits),
+		Dst:     r.Intn(numPool),
+		B:       r.Intn(numPool),
+		Then:    genBody(r, cfg, depth+1),
+	}
+	if n.Shape == ShapeIfElse || n.Shape == ShapeType3 || n.Shape == ShapeOverlap {
+		n.Else = genBody(r, cfg, depth+1)
+	}
+	if r.Bool(0.1) {
+		n.NoPred = true
+	}
+	return n
+}
+
+func genLoop(r *RNG, cfg GenConfig, depth int) Node {
+	n := Node{Kind: KindLoop, Body: genBody(r, cfg, depth+1)}
+	if r.Bool(0.5) {
+		n.Trip = r.Range(1, maxTrip)
+	}
+	return n
+}

@@ -1,0 +1,172 @@
+package difftest
+
+import (
+	"fmt"
+
+	"acb/internal/config"
+	"acb/internal/core"
+	"acb/internal/ooo"
+)
+
+// Artifacts is everything one engine run exposes to the invariant pack.
+type Artifacts struct {
+	Engine string
+	Cfg    config.Core
+	Res    ooo.Result
+	Pipe   *ooo.PipeStats
+	Trace  *ooo.TraceRing
+	Scheme ooo.Scheme
+	Steps  int64 // functional instruction count
+	Budget int64 // retire budget granted to the run
+}
+
+// Invariant is one pluggable per-run check; it sees the run's artifacts
+// and returns a violation description or nil.
+type Invariant struct {
+	Name  string
+	Check func(*Artifacts) error
+}
+
+// DefaultInvariants returns the standard pack: every differential run
+// enforces these beyond raw architectural equality.
+func DefaultInvariants() []Invariant {
+	return []Invariant{
+		{Name: "cpi-sums-to-cycles", Check: checkCPISums},
+		{Name: "occupancy-within-capacity", Check: checkOccupancy},
+		{Name: "counter-sanity", Check: checkCounterSanity},
+		{Name: "acb-counter-bounds", Check: checkACBBounds},
+		{Name: "ctx-lifecycle", Check: checkCtxLifecycle},
+	}
+}
+
+// checkCPISums: the CPI attribution charges exactly one bucket per cycle,
+// so the buckets sum to the attributed cycle count and that count is the
+// run's cycle count.
+func checkCPISums(a *Artifacts) error {
+	p := a.Res.CPI
+	if p == nil {
+		return nil
+	}
+	if s := p.Sum(); s != p.Cycles {
+		return fmt.Errorf("buckets sum to %d, attributed cycles %d", s, p.Cycles)
+	}
+	if p.Cycles != a.Res.Cycles {
+		return fmt.Errorf("attributed %d cycles, run took %d", p.Cycles, a.Res.Cycles)
+	}
+	return nil
+}
+
+// checkOccupancy: the ROB and issue queue never exceed their configured
+// capacities.
+func checkOccupancy(a *Artifacts) error {
+	if a.Pipe == nil {
+		return nil
+	}
+	rob, iq := a.Pipe.MaxOccupancy()
+	if rob > a.Cfg.ROBSize {
+		return fmt.Errorf("ROB occupancy peaked at %d, capacity %d", rob, a.Cfg.ROBSize)
+	}
+	if iq > a.Cfg.IQSize {
+		return fmt.Errorf("IQ occupancy peaked at %d, capacity %d", iq, a.Cfg.IQSize)
+	}
+	return nil
+}
+
+// checkCounterSanity: cross-field consistency of the run's counters.
+func checkCounterSanity(a *Artifacts) error {
+	r := a.Res
+	switch {
+	case r.Retired < 0 || r.Retired > a.Budget:
+		return fmt.Errorf("retired %d outside [0, budget %d]", r.Retired, a.Budget)
+	case r.Retired > 0 && r.Cycles <= 0:
+		return fmt.Errorf("retired %d in %d cycles", r.Retired, r.Cycles)
+	case r.DivFlushes > r.Flushes:
+		return fmt.Errorf("divergence flushes %d exceed total flushes %d", r.DivFlushes, r.Flushes)
+	case r.Mispredicts > r.CondBranches:
+		return fmt.Errorf("mispredicts %d exceed conditional branches %d", r.Mispredicts, r.CondBranches)
+	case r.WrongPathAllocs > r.Allocations:
+		return fmt.Errorf("wrong-path allocations %d exceed allocations %d", r.WrongPathAllocs, r.Allocations)
+	}
+	return nil
+}
+
+// checkACBBounds: the ACB Table's hardware counters stay inside their bit
+// widths (6-bit confidence, 2-bit utility, 4-bit involvement) and learned
+// metadata is structurally sane.
+func checkACBBounds(a *Artifacts) error {
+	acb, ok := a.Scheme.(*core.ACB)
+	if !ok {
+		return nil
+	}
+	var err error
+	acb.Table().ForEach(func(e *core.ACBEntry) {
+		if err != nil {
+			return
+		}
+		switch {
+		case e.Confidence > 63:
+			err = fmt.Errorf("pc %d: confidence %d exceeds 6-bit bound", e.PC, e.Confidence)
+		case e.Utility > 3:
+			err = fmt.Errorf("pc %d: utility %d exceeds 2-bit bound", e.PC, e.Utility)
+		case e.Involvement > 15:
+			err = fmt.Errorf("pc %d: involvement %d exceeds 4-bit bound", e.PC, e.Involvement)
+		case !e.Backward && e.ReconPC <= e.PC:
+			err = fmt.Errorf("pc %d: forward branch learned reconvergence at %d", e.PC, e.ReconPC)
+		case e.BodySize < 0:
+			err = fmt.Errorf("pc %d: negative body size %d", e.PC, e.BodySize)
+		}
+	})
+	return err
+}
+
+// checkCtxLifecycle: every dual-fetch context that opens is eventually
+// resolved — it reconverges, diverges, or is squashed by a pipeline flush.
+// A context still open when the run halts (in-flight at the end) is
+// allowed. Skipped when the bounded ring dropped events, since the opens
+// may have scrolled out.
+func checkCtxLifecycle(a *Artifacts) error {
+	if a.Trace == nil || a.Trace.Dropped() > 0 {
+		return nil
+	}
+	events := a.Trace.Events()
+	type openCtx struct {
+		cycle int64
+		pc    int
+	}
+	open := make(map[int64]openCtx)
+	var last int64
+	var lastFlush int64 = -1
+	for _, ev := range events {
+		if ev.Cycle < last {
+			return fmt.Errorf("event cycles regress: %d after %d (%s)", ev.Cycle, last, ev.Kind)
+		}
+		last = ev.Cycle
+		switch ev.Kind {
+		case ooo.EvDualFetchOpen:
+			open[ev.Ctx] = openCtx{cycle: ev.Cycle, pc: ev.PC}
+		case ooo.EvDualFetchSwitch:
+			if _, ok := open[ev.Ctx]; !ok {
+				return fmt.Errorf("ctx %d switched paths without an open event", ev.Ctx)
+			}
+		case ooo.EvReconverge, ooo.EvDiverge:
+			if _, ok := open[ev.Ctx]; !ok {
+				return fmt.Errorf("ctx %d closed (%s) without an open event", ev.Ctx, ev.Kind)
+			}
+			delete(open, ev.Ctx)
+		case ooo.EvFlushMispredict, ooo.EvFlushDivergence:
+			lastFlush = ev.Cycle
+		}
+	}
+	// Unresolved contexts must have been squashed by a later flush, except
+	// for contexts still in flight when the run ended.
+	unresolved := 0
+	for _, oc := range open {
+		if lastFlush < oc.cycle {
+			unresolved++
+		}
+	}
+	if unresolved > 1 {
+		return fmt.Errorf("%d dual-fetch contexts opened but never reconverged, diverged, or were flushed", unresolved)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"acb/internal/ooo"
+)
+
+// mutatedForced returns the forced-predication engine with a deliberate
+// core fault injected — the oracle self-test harness.
+func mutatedForced(m ooo.Mutation) Engine {
+	e := forcedEngine("forced+"+m.String(), func(s Site, _ *Assembled) (ooo.PredSpec, bool) {
+		return siteSpec(s), true
+	})
+	e.Mutation = m
+	return e
+}
+
+// TestMutationTransparencySkipIsCaught breaks register transparency
+// (false-path producers commit their fresh physical register's zero value
+// instead of moving the previous mapping) and asserts the differential
+// oracle reports it. This is the self-test demanded of any oracle: a
+// checker that cannot see a seeded bug is vacuous.
+func TestMutationTransparencySkipIsCaught(t *testing.T) {
+	opts := Options{Matrix: []Engine{mutatedForced(ooo.MutSkipTransparencyMove)}}
+	caught := 0
+	for seed := uint64(0); seed < 8; seed++ {
+		p := Generate(seed, DefaultGenConfig())
+		if rep := Check(p, opts); !rep.OK() {
+			caught++
+			assertArchitecturalFailure(t, rep)
+		}
+	}
+	if caught < 6 {
+		t.Fatalf("transparency-skip mutation caught on %d/8 programs; oracle too weak", caught)
+	}
+}
+
+// TestMutationMemInvalidateSkipIsCaught breaks false-path LSQ
+// invalidation (predicated-false loads and stores execute as if taken)
+// and asserts the oracle reports the resulting memory corruption.
+func TestMutationMemInvalidateSkipIsCaught(t *testing.T) {
+	opts := Options{Matrix: []Engine{mutatedForced(ooo.MutSkipMemInvalidate)}}
+	// Memory-shape-heavy generation: the mutation only bites when a
+	// false path contains a load or store.
+	cfg := DefaultGenConfig()
+	cfg.PMem = 0.5
+	caught := 0
+	for seed := uint64(0); seed < 12; seed++ {
+		p := Generate(seed, cfg)
+		if rep := Check(p, opts); !rep.OK() {
+			caught++
+			assertArchitecturalFailure(t, rep)
+		}
+	}
+	if caught < 4 {
+		t.Fatalf("mem-invalidate-skip mutation caught on %d/12 programs; oracle too weak", caught)
+	}
+}
+
+// TestMutationShrinksToMinimizedRepro runs the full failure pipeline on a
+// seeded bug: detect, then shrink to a minimized reproduction that still
+// fails — the artifact a developer would actually debug.
+func TestMutationShrinksToMinimizedRepro(t *testing.T) {
+	opts := Options{Matrix: []Engine{mutatedForced(ooo.MutSkipTransparencyMove)}}
+	var victim *Prog
+	for seed := uint64(0); seed < 8; seed++ {
+		p := Generate(seed, DefaultGenConfig())
+		if rep := Check(p, opts); !rep.OK() {
+			victim = p
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no failing program found for the seeded mutation")
+	}
+	before := CountNodes(victim.Nodes)
+	shrunk, rep := Shrink(victim, opts, 250)
+	if rep.OK() {
+		t.Fatal("shrunk program no longer fails")
+	}
+	after := CountNodes(shrunk.Nodes)
+	if after > before {
+		t.Fatalf("shrinking grew the program: %d -> %d nodes", before, after)
+	}
+	if after > before/2 && before > 6 {
+		t.Logf("note: shrink only reached %d of %d nodes", after, before)
+	}
+	if shrunk.Iters > victim.Iters {
+		t.Fatalf("shrinking grew iterations: %d -> %d", victim.Iters, shrunk.Iters)
+	}
+	t.Logf("minimized repro: %d -> %d nodes, %d -> %d iters, failure %s",
+		before, after, victim.Iters, shrunk.Iters, rep.Failures[0])
+}
+
+// TestMutationStringAndNone covers the mutation enum plumbing.
+func TestMutationStringAndNone(t *testing.T) {
+	if ooo.MutNone.String() != "none" {
+		t.Fatalf("MutNone = %q", ooo.MutNone)
+	}
+	for _, m := range []ooo.Mutation{ooo.MutSkipTransparencyMove, ooo.MutSkipMemInvalidate} {
+		if m.String() == "none" || strings.Contains(m.String(), "unknown") {
+			t.Fatalf("mutation %d has no name", m)
+		}
+	}
+}
+
+// assertArchitecturalFailure requires the report's failures to be the
+// kinds a state-corruption bug produces (register/memory/retired mismatch
+// or an internal oracle panic), not infrastructure noise.
+func assertArchitecturalFailure(t *testing.T, rep *Report) {
+	t.Helper()
+	for _, f := range rep.Failures {
+		switch f.Kind {
+		case FailRegs, FailMem, FailRetired, FailPanic, FailRun, FailInvariant:
+		default:
+			t.Fatalf("unexpected failure kind %q: %s", f.Kind, f)
+		}
+	}
+}

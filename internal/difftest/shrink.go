@@ -1,0 +1,170 @@
+package difftest
+
+// Greedy program shrinker: given a failing program, repeatedly applies the
+// smallest structural reductions that keep it failing — halving the
+// iteration count, deleting nodes, splicing hammock and loop bodies into
+// their parents, and simplifying shapes — until no single reduction
+// preserves the failure or the check budget runs out. The result is what
+// lands in the corpus: a minimal, human-readable reproduction.
+
+// cloneNodes deep-copies a node list.
+func cloneNodes(ns []Node) []Node {
+	if ns == nil {
+		return nil
+	}
+	out := make([]Node, len(ns))
+	copy(out, ns)
+	for i := range out {
+		out[i].Then = cloneNodes(out[i].Then)
+		out[i].Else = cloneNodes(out[i].Else)
+		out[i].Body = cloneNodes(out[i].Body)
+	}
+	return out
+}
+
+func cloneProg(p *Prog) *Prog {
+	return &Prog{Seed: p.Seed, Iters: p.Iters, Nodes: cloneNodes(p.Nodes)}
+}
+
+// CountNodes returns the program's total node count (preorder).
+func CountNodes(ns []Node) int {
+	n := 0
+	for i := range ns {
+		n += 1 + CountNodes(ns[i].Then) + CountNodes(ns[i].Else) + CountNodes(ns[i].Body)
+	}
+	return n
+}
+
+// nodeInfo is the shape summary of one node, indexed in preorder; the
+// reduction planner uses it to emit only applicable transforms.
+type nodeInfo struct {
+	kind    string
+	shape   string
+	elseLen int
+	trip    int
+}
+
+func scanNodes(ns []Node, out []nodeInfo) []nodeInfo {
+	for i := range ns {
+		out = append(out, nodeInfo{
+			kind: ns[i].Kind, shape: ns[i].Shape,
+			elseLen: len(ns[i].Else), trip: ns[i].Trip,
+		})
+		out = scanNodes(ns[i].Then, out)
+		out = scanNodes(ns[i].Else, out)
+		out = scanNodes(ns[i].Body, out)
+	}
+	return out
+}
+
+// rewriteAt replaces the idx-th node (preorder) with fn's result, which
+// may be empty (deletion) or a spliced body. Returns ok=false when idx is
+// past the end of the tree.
+func rewriteAt(ns []Node, idx *int, fn func(*Node) []Node) ([]Node, bool) {
+	for i := range ns {
+		if *idx == 0 {
+			*idx = -1
+			repl := fn(&ns[i])
+			out := make([]Node, 0, len(ns)-1+len(repl))
+			out = append(out, ns[:i]...)
+			out = append(out, repl...)
+			out = append(out, ns[i+1:]...)
+			return out, true
+		}
+		*idx = *idx - 1
+		for _, sub := range []*[]Node{&ns[i].Then, &ns[i].Else, &ns[i].Body} {
+			if repl, ok := rewriteAt(*sub, idx, fn); ok {
+				*sub = repl
+				return ns, true
+			}
+		}
+	}
+	return ns, false
+}
+
+// reductionsOf builds every single-step reduction of p.
+func reductionsOf(p *Prog) []*Prog {
+	var out []*Prog
+
+	if p.Iters > 4 {
+		q := cloneProg(p)
+		q.Iters /= 2
+		out = append(out, q)
+	}
+	if p.Seed != 0 {
+		q := cloneProg(p)
+		q.Seed = 0
+		out = append(out, q)
+	}
+
+	infos := scanNodes(p.Nodes, nil)
+	tryNode := func(i int, fn func(*Node) []Node) {
+		q := cloneProg(p)
+		idx := i
+		if ns, ok := rewriteAt(q.Nodes, &idx, fn); ok {
+			q.Nodes = ns
+			out = append(out, q)
+		}
+	}
+	for i, info := range infos {
+		tryNode(i, func(*Node) []Node { return nil }) // delete outright
+		switch info.kind {
+		case KindHammock:
+			tryNode(i, func(n *Node) []Node { return n.Then })
+			if info.elseLen > 0 {
+				tryNode(i, func(n *Node) []Node { return n.Else })
+			}
+			if info.shape != ShapeIf {
+				tryNode(i, func(n *Node) []Node {
+					m := *n
+					m.Shape = ShapeIf
+					m.Else = nil
+					return []Node{m}
+				})
+			}
+		case KindLoop:
+			tryNode(i, func(n *Node) []Node { return n.Body })
+			if info.trip != 1 {
+				tryNode(i, func(n *Node) []Node {
+					m := *n
+					m.Trip = 1
+					return []Node{m}
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Shrink minimizes a failing program: it returns the smallest reduction
+// found that still fails the differential check, plus that reduction's
+// report. maxChecks bounds the number of Check calls (<= 0 means 400).
+// When p itself passes, it is returned unchanged with its passing report.
+func Shrink(p *Prog, opts Options, maxChecks int) (*Prog, *Report) {
+	if maxChecks <= 0 {
+		maxChecks = 400
+	}
+	best := cloneProg(p)
+	rep := Check(best, opts)
+	maxChecks--
+	if rep.OK() {
+		return best, rep
+	}
+	improved := true
+	for improved && maxChecks > 0 {
+		improved = false
+		for _, cand := range reductionsOf(best) {
+			if maxChecks <= 0 {
+				break
+			}
+			r := Check(cand, opts)
+			maxChecks--
+			if !r.OK() {
+				best, rep = cand, r
+				improved = true
+				break // restart from the reduced program
+			}
+		}
+	}
+	return best, rep
+}

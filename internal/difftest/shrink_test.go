@@ -1,0 +1,100 @@
+package difftest
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCountAndRewrite(t *testing.T) {
+	p := &Prog{Seed: 1, Iters: 8, Nodes: []Node{
+		{Kind: KindALU, Op: "add"},
+		{Kind: KindHammock, Shape: ShapeIfElse,
+			Then: []Node{{Kind: KindALU, Op: "xor"}},
+			Else: []Node{{Kind: KindLoop, Trip: 2, Body: []Node{{Kind: KindStore}}}}},
+	}}
+	if n := CountNodes(p.Nodes); n != 5 {
+		t.Fatalf("CountNodes = %d, want 5", n)
+	}
+	// Delete the loop (preorder index 3) and verify the store goes with it.
+	q := cloneProg(p)
+	idx := 3
+	ns, ok := rewriteAt(q.Nodes, &idx, func(*Node) []Node { return nil })
+	if !ok {
+		t.Fatal("rewriteAt missed index 3")
+	}
+	q.Nodes = ns
+	if n := CountNodes(q.Nodes); n != 3 {
+		t.Fatalf("after delete CountNodes = %d, want 3", n)
+	}
+	// Out-of-range index is reported, not silently dropped.
+	idx = 99
+	if _, ok := rewriteAt(q.Nodes, &idx, func(*Node) []Node { return nil }); ok {
+		t.Fatal("rewriteAt accepted an out-of-range index")
+	}
+	// The original is untouched by candidate construction.
+	if CountNodes(p.Nodes) != 5 {
+		t.Fatal("rewrite mutated the source program")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := Generate(11, DefaultGenConfig())
+	q := cloneProg(p)
+	if !reflect.DeepEqual(p, q) {
+		t.Fatal("clone differs from source")
+	}
+	mutateFirstLeaf(q.Nodes)
+	if reflect.DeepEqual(p, q) {
+		t.Fatal("mutating the clone changed the source: shallow copy")
+	}
+}
+
+func mutateFirstLeaf(ns []Node) bool {
+	for i := range ns {
+		if len(ns[i].Then) == 0 && len(ns[i].Else) == 0 && len(ns[i].Body) == 0 {
+			ns[i].Imm += 1000
+			return true
+		}
+		if mutateFirstLeaf(ns[i].Then) || mutateFirstLeaf(ns[i].Else) || mutateFirstLeaf(ns[i].Body) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestReductionsShrinkStrictly(t *testing.T) {
+	p := Generate(13, DefaultGenConfig())
+	size := CountNodes(p.Nodes)
+	cands := reductionsOf(p)
+	if len(cands) == 0 {
+		t.Fatal("no reductions for a generated program")
+	}
+	for _, c := range cands {
+		cs := CountNodes(c.Nodes)
+		if cs > size {
+			t.Fatalf("reduction grew the tree: %d -> %d nodes", size, cs)
+		}
+		if cs == size && c.Iters == p.Iters && c.Seed == p.Seed &&
+			reflect.DeepEqual(c.Nodes, p.Nodes) {
+			t.Fatal("reduction is identical to the source")
+		}
+		if c.Iters > p.Iters {
+			t.Fatalf("reduction grew iterations: %d -> %d", p.Iters, c.Iters)
+		}
+		if _, err := Assemble(c); err != nil {
+			t.Fatalf("reduction does not assemble: %v", err)
+		}
+	}
+}
+
+func TestShrinkPassesThroughHealthyProgram(t *testing.T) {
+	p := Generate(17, DefaultGenConfig())
+	opts := Options{Matrix: fastMatrix()}
+	shrunk, rep := Shrink(p, opts, 10)
+	if !rep.OK() {
+		t.Fatalf("healthy program reported failing: %v", rep.Failures)
+	}
+	if !reflect.DeepEqual(shrunk, p) {
+		t.Fatal("healthy program was altered by Shrink")
+	}
+}

@@ -1,0 +1,49 @@
+package difftest
+
+import "acb/internal/workload"
+
+// RandomSpec builds a randomized workload spec from a seed: a mix of
+// hammock shapes, body sizes, predictabilities and features, so property
+// tests and fuzz campaigns exercise the predication machinery broadly.
+// It is the shared successor of the xorshift generator that used to live
+// in internal/ooo's correctness test: one RNG (see RNG), one distribution,
+// and unbiased bounded draws instead of the old modulo-on-raw-state.
+func RandomSpec(seed uint64) workload.Spec {
+	r := NewRNG(seed)
+	spec := workload.Spec{
+		Seed:   seed,
+		Iters:  1 << 40, // bounded by the simulation budget
+		Period: 1024,
+		ALU:    r.Intn(5),
+	}
+	if r.Intn(3) == 0 {
+		spec.ChaseDepth = 1
+		spec.ChaseSpan = 1 << 18
+	}
+	if r.Intn(3) == 0 {
+		spec.PredictableLoops = r.Range(1, 4)
+	}
+	n := r.Range(1, 3)
+	for i := 0; i < n; i++ {
+		h := workload.Hammock{
+			Shape:     workload.HammockShape(r.Intn(4)),
+			TLen:      r.Range(1, 12),
+			NTLen:     r.Range(1, 12),
+			TakenBias: 0.3 + float64(r.Intn(5))*0.1,
+			Noise:     float64(r.Intn(11)) * 0.1,
+		}
+		switch r.Intn(4) {
+		case 0:
+			h.StoreInBody = true
+		case 1:
+			h.FeedsLoad = true
+		case 2:
+			h.CorrelatedTail = true
+		}
+		if spec.ChaseDepth > 0 && r.Intn(4) == 0 {
+			h.SlowCond = true
+		}
+		spec.Hammocks = append(spec.Hammocks, h)
+	}
+	return spec
+}

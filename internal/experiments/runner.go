@@ -263,6 +263,33 @@ func runPool(opts *Options, n int, run func(i int)) {
 	}
 }
 
+// Pool executes jobs 0..n-1 on the bounded worker pool described by opts
+// (Options.Jobs workers, Options.Context cancellation) and returns the
+// first job failure, if any, instead of panicking. It exists for callers
+// outside this package — cmd/acbfuzz's differential campaigns in
+// particular — that want the same race-safe, deterministic fan-out the
+// experiment sweeps use: each job writes only its own state, so results
+// are independent of scheduling. A cancelled context is reported as an
+// error wrapping ctx.Err() even when no job observed it, since skipped
+// jobs leave their outputs unfilled.
+func Pool(opts Options, n int, run func(i int)) (err error) {
+	opts.fill()
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+				return
+			}
+			err = fmt.Errorf("experiments: pool job panicked: %v", r)
+		}
+	}()
+	runPool(&opts, n, run)
+	if cerr := opts.Context.Err(); cerr != nil {
+		return fmt.Errorf("experiments: pool cancelled: %w", cerr)
+	}
+	return nil
+}
+
 // SchemeKind names the simulation variants.
 type SchemeKind string
 

@@ -1,6 +1,9 @@
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Mem is the functional-memory interface: whole 64-bit words addressed by
 // byte address (the low three address bits are ignored by implementations;
@@ -58,6 +61,55 @@ func (m *Memory) Clone() *Memory {
 
 // Footprint returns the number of resident pages (for tests/diagnostics).
 func (m *Memory) Footprint() int { return len(m.pages) }
+
+// Equal reports whether the two memories hold identical word contents.
+// Absent pages compare as zero, so a memory with an all-zero resident page
+// equals one where the page was never touched.
+func (m *Memory) Equal(o *Memory) bool { return len(m.DiffWords(o, 1)) == 0 }
+
+// MemDiff is one differing word between two memories.
+type MemDiff struct {
+	Addr int64 // byte address of the word
+	A, B int64 // the two values (A from the receiver, B from the argument)
+}
+
+// DiffWords returns up to max differing words between m and o in ascending
+// address order (all of them when max <= 0). Absent pages read as zero.
+func (m *Memory) DiffWords(o *Memory, max int) []MemDiff {
+	idxSet := make(map[int64]struct{}, len(m.pages)+len(o.pages))
+	for idx := range m.pages {
+		idxSet[idx] = struct{}{}
+	}
+	for idx := range o.pages {
+		idxSet[idx] = struct{}{}
+	}
+	idxs := make([]int64, 0, len(idxSet))
+	for idx := range idxSet {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+
+	var zero [pageWords]int64
+	var out []MemDiff
+	for _, idx := range idxs {
+		pa, pb := m.pages[idx], o.pages[idx]
+		if pa == nil {
+			pa = &zero
+		}
+		if pb == nil {
+			pb = &zero
+		}
+		for w := 0; w < pageWords; w++ {
+			if pa[w] != pb[w] {
+				out = append(out, MemDiff{Addr: idx<<pageShift + int64(w)*8, A: pa[w], B: pb[w]})
+				if max > 0 && len(out) >= max {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
 
 // Overlay is a copy-on-write view over a base memory. Reads consult the
 // overlay's private writes first; Commit applies them to the base. The

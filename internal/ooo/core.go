@@ -140,9 +140,10 @@ type Core struct {
 
 	completing map[int64][]int64
 
-	cycle   int64
-	retired int64
-	haltSeq int64
+	cycle    int64
+	retired  int64
+	haltSeq  int64
+	mutation Mutation
 
 	s     runStats
 	perPC map[int]*BranchStat

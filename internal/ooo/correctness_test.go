@@ -6,60 +6,12 @@ import (
 	"acb/internal/bpu"
 	"acb/internal/config"
 	"acb/internal/core"
+	"acb/internal/difftest"
 	"acb/internal/dmp"
 	"acb/internal/isa"
 	"acb/internal/ooo"
 	"acb/internal/workload"
 )
-
-// randomSpec builds a randomized workload spec from a seed: a mix of
-// hammock shapes, body sizes, predictabilities and features, so the
-// property test exercises the predication machinery broadly.
-func randomSpec(seed uint64) workload.Spec {
-	x := seed*0x9E3779B97F4A7C15 + 1
-	next := func(n uint64) uint64 {
-		x ^= x << 13
-		x ^= x >> 7
-		x ^= x << 17
-		return x % n
-	}
-	spec := workload.Spec{
-		Seed:   seed,
-		Iters:  1 << 40, // bounded by the simulation budget
-		Period: 1024,
-		ALU:    int(next(5)),
-	}
-	if next(3) == 0 {
-		spec.ChaseDepth = 1
-		spec.ChaseSpan = 1 << 18
-	}
-	if next(3) == 0 {
-		spec.PredictableLoops = int(next(4)) + 1
-	}
-	n := int(next(3)) + 1
-	for i := 0; i < n; i++ {
-		h := workload.Hammock{
-			Shape:     workload.HammockShape(next(4)),
-			TLen:      int(next(12)) + 1,
-			NTLen:     int(next(12)) + 1,
-			TakenBias: 0.3 + float64(next(5))*0.1,
-			Noise:     float64(next(11)) * 0.1,
-		}
-		switch next(4) {
-		case 0:
-			h.StoreInBody = true
-		case 1:
-			h.FeedsLoad = true
-		case 2:
-			h.CorrelatedTail = true
-		}
-		if spec.ChaseDepth > 0 && next(4) == 0 {
-			h.SlowCond = true
-		}
-		spec.Hammocks = append(spec.Hammocks, h)
-	}
-	return spec
-}
 
 // TestSchemesAreValueCorrect is the central correctness property of the
 // whole model: for randomized programs, the final architectural registers
@@ -77,7 +29,7 @@ func TestSchemesAreValueCorrect(t *testing.T) {
 	const budget = 60_000
 
 	for _, seed := range seeds {
-		spec := randomSpec(seed)
+		spec := difftest.RandomSpec(seed)
 		p, m := spec.Build()
 
 		schemes := map[string]func() ooo.Scheme{

@@ -101,6 +101,9 @@ func (c *Core) resolveBranch(e *robEntry) {
 // predicated-false path invalid in the LSQ so they are excluded from
 // address matching and never dispatch to memory (Sec. III-C3).
 func (c *Core) invalidateFalseMemOps(ctx *ctxState) {
+	if c.mutation == MutSkipMemInvalidate {
+		return // deliberate break (difftest self-test)
+	}
 	mark := func(seqs []int64) {
 		for _, seq := range seqs {
 			se := c.rob.at(seq)

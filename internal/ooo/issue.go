@@ -78,6 +78,16 @@ func (c *Core) tryIssue(e *robEntry) (lat int, ok bool) {
 		if !e.ctx.spec.Eager {
 			return c.tryIssueStallBody(e)
 		}
+		// invalidateFalseMemOps runs once, at branch resolution; an eager
+		// body memory op still in the fetch queue at that moment allocates
+		// afterwards and would slip past it, so re-check here (the stall
+		// path does the same inside tryIssueStallBody).
+		if e.ctx.branchDone && e.pathTaken != e.ctx.branchTaken &&
+			(e.isLoad || e.isStore) && !e.invalidated &&
+			c.mutation != MutSkipMemInvalidate {
+			e.invalidated = true
+			c.s.invalidatedMem++
+		}
 		return c.tryIssueNormal(e)
 	default:
 		return c.tryIssueNormal(e)
@@ -142,14 +152,25 @@ func (c *Core) tryIssueStallBody(e *robEntry) (int, bool) {
 	if !onFalse {
 		return c.tryIssueNormal(e)
 	}
+	if c.mutation == MutSkipMemInvalidate && (e.isLoad || e.isStore) {
+		// Deliberate break (difftest self-test): the false-path memory op
+		// executes as if it were on the taken path.
+		return c.tryIssueNormal(e)
+	}
 	// Predicated-false path: producers copy the last correctly produced
 	// value of their logical destination; everything else releases.
 	if e.dest >= 0 {
-		if !c.prf[e.prevPhys].ready {
-			return 0, false
+		if c.mutation == MutSkipTransparencyMove {
+			// Deliberate break (difftest self-test): skip the move; the
+			// freshly allocated physical register's zero value commits.
+			e.hasResult = true
+		} else {
+			if !c.prf[e.prevPhys].ready {
+				return 0, false
+			}
+			e.result = c.prf[e.prevPhys].val
+			e.hasResult = true
 		}
-		e.result = c.prf[e.prevPhys].val
-		e.hasResult = true
 	}
 	if (e.isLoad || e.isStore) && !e.invalidated {
 		// Normally already marked by invalidateFalseMemOps at resolution.

@@ -1,0 +1,43 @@
+package ooo
+
+// Mutation identifies a deliberate correctness break injected into the
+// core. The differential-fuzzing harness (internal/difftest) uses these in
+// its self-test: a harness that cannot detect a core with a known-broken
+// transparency discipline proves nothing, so the suite breaks the core on
+// purpose and asserts the functional-emulator oracle reports a mismatch.
+// Mutations are test-only plumbing; production paths never set one.
+type Mutation uint8
+
+// Mutations.
+const (
+	// MutNone leaves the core unmodified.
+	MutNone Mutation = iota
+	// MutSkipTransparencyMove breaks ACB register transparency: a
+	// predicated-false-path producer skips the move from the previous
+	// physical register of its logical destination and completes with the
+	// freshly allocated register's zero value instead (Sec. III-C2's
+	// mechanism, disabled).
+	MutSkipTransparencyMove
+	// MutSkipMemInvalidate breaks false-path memory nullification: loads
+	// and stores on the predicated-false path execute and commit as if
+	// they were on the taken path instead of being invalidated in the LSQ
+	// (Sec. III-C3's mechanism, disabled).
+	MutSkipMemInvalidate
+)
+
+// String names the mutation.
+func (m Mutation) String() string {
+	switch m {
+	case MutNone:
+		return "none"
+	case MutSkipTransparencyMove:
+		return "skip-transparency-move"
+	case MutSkipMemInvalidate:
+		return "skip-mem-invalidate"
+	}
+	return "mutation(?)"
+}
+
+// InjectMutation arms a deliberate correctness break (difftest self-test
+// only). Must be called before Run.
+func (c *Core) InjectMutation(m Mutation) { c.mutation = m }

@@ -21,6 +21,12 @@ type PipeStats struct {
 	// (index 8 = completely full).
 	robOcc [9]int64
 	iqOcc  [9]int64
+
+	// maxRob/maxIQ are the largest raw occupancies ever sampled; the
+	// differential-fuzz invariant pack checks them against the configured
+	// capacities.
+	maxRob int
+	maxIQ  int
 }
 
 // EnablePipeStats turns on pipeline utilization collection.
@@ -38,7 +44,17 @@ func (p *PipeStats) sample(robOcc, robCap, iqOcc, iqCap int) {
 	p.cycles++
 	p.robOcc[bucket(robOcc, robCap)]++
 	p.iqOcc[bucket(iqOcc, iqCap)]++
+	if robOcc > p.maxRob {
+		p.maxRob = robOcc
+	}
+	if iqOcc > p.maxIQ {
+		p.maxIQ = iqOcc
+	}
 }
+
+// MaxOccupancy returns the largest ROB and issue-queue occupancies sampled
+// over the run.
+func (p *PipeStats) MaxOccupancy() (rob, iq int) { return p.maxRob, p.maxIQ }
 
 func bucket(occ, capacity int) int {
 	if capacity <= 0 {

@@ -45,8 +45,15 @@ func (c *Core) retireStage() bool {
 			}
 		}
 
-		// Architectural register map and reclamation.
-		if e.dest >= 0 {
+		// Architectural register map and reclamation. An eager-mode body
+		// producer on the discarded path must not update the committed
+		// map: its result is dead at the merge, and the select micro-op
+		// that follows performs the architectural write (in stall mode
+		// the transparency move already carries the previous mapping's
+		// value, so the update is harmless there).
+		discarded := e.role == RoleBody && e.ctx != nil && e.ctx.spec.Eager &&
+			e.ctx.branchDone && e.pathTaken != e.ctx.branchTaken
+		if e.dest >= 0 && !discarded {
 			if e.role == RoleSelect {
 				c.commitRat[e.selLog] = e.dest
 			} else if e.inst != nil && e.inst.HasDest() {

@@ -45,6 +45,81 @@ func TestBuilderDuplicateLabel(t *testing.T) {
 	}
 }
 
+func TestBuilderErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func(b *Builder)
+		wantErr string
+	}{
+		{
+			name: "undefined label via Jmp",
+			build: func(b *Builder) {
+				b.Jmp("nowhere")
+				b.Halt()
+			},
+			wantErr: `undefined label "nowhere"`,
+		},
+		{
+			name: "undefined label via conditional branch",
+			build: func(b *Builder) {
+				b.Brnz(isa.R1, "missing")
+				b.Halt()
+			},
+			wantErr: `undefined label "missing"`,
+		},
+		{
+			name: "duplicate label",
+			build: func(b *Builder) {
+				b.Label("x")
+				b.Nop()
+				b.Label("x")
+				b.Halt()
+			},
+			wantErr: `duplicate label "x"`,
+		},
+		{
+			name: "first error wins over later ones",
+			build: func(b *Builder) {
+				b.Label("a")
+				b.Label("a") // first failure: duplicate "a"
+				b.Label("b")
+				b.Label("b") // second failure, must not mask the first
+			},
+			wantErr: `duplicate label "a"`,
+		},
+		{
+			name: "emit after fail keeps the error",
+			build: func(b *Builder) {
+				b.Label("dup")
+				b.Label("dup")
+				// A long healthy tail must not launder the sticky error.
+				b.MovI(isa.R1, 7)
+				b.Add(isa.R2, isa.R1, isa.R1)
+				b.Store(isa.R2, 0, isa.R1)
+				b.Brz(isa.R1, "dup")
+				b.Halt()
+			},
+			wantErr: `duplicate label "dup"`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder()
+			tc.build(b)
+			p, err := b.Build()
+			if err == nil {
+				t.Fatalf("Build succeeded (%d insts), want error containing %q", len(p), tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %q, want it to contain %q", err, tc.wantErr)
+			}
+			if p != nil {
+				t.Fatalf("failed Build returned a program of %d insts", len(p))
+			}
+		})
+	}
+}
+
 func TestMustBuildPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
