@@ -1,13 +1,17 @@
 // Package repro's benchmark harness regenerates every table and figure of
 // the paper's evaluation (run with `go test -bench=. -benchmem`). Each
-// benchmark executes its experiment once per b.N iteration and prints the
-// resulting data series; EXPERIMENTS.md records the paper-vs-measured
-// comparison for each. BenchmarkAblation* additionally quantify the design
-// choices DESIGN.md calls out (Dynamo, the ROB-criticality heuristic, the
-// eager select-µop variant, and the body-size confidence mapping).
+// benchmark executes its experiment once per b.N iteration; pass
+// -acb.tables to also print the resulting data series (EXPERIMENTS.md
+// records the paper-vs-measured comparison for each). Every benchmark
+// reports allocations and simulated cycles per wall second — the
+// throughput metric docs/PERFORMANCE.md tracks and cmd/acbbench gates in
+// CI. BenchmarkAblation* additionally quantify the design choices
+// DESIGN.md calls out (Dynamo, the ROB-criticality heuristic, the eager
+// select-µop variant, and the body-size confidence mapping).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"testing"
 
@@ -20,25 +24,52 @@ import (
 	"acb/internal/workload"
 )
 
+// acbTables gates the experiment-table dumps: benchmarks are silent by
+// default so `go test -bench` output stays parseable by benchstat and the
+// CI perf gate.
+var acbTables = flag.Bool("acb.tables", false, "print experiment result tables from benchmarks")
+
 // benchBudget is the per-simulation retired-instruction budget for the
 // figure benchmarks. The experiments are deterministic; larger budgets
 // sharpen the numbers but scale run time linearly.
 const benchBudget = 400_000
 
-func benchOpts() experiments.Options {
+func benchOpts(rs *experiments.RunnerStats) experiments.Options {
 	o := experiments.DefaultOptions()
 	o.Budget = benchBudget
+	o.Stats = rs
 	return o
+}
+
+// benchExperiment runs one table-producing experiment per iteration,
+// reporting allocations and simulated cycles per wall second.
+func benchExperiment(b *testing.B, run func(experiments.Options) *stats.Table) {
+	b.Helper()
+	var rs experiments.RunnerStats
+	o := benchOpts(&rs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var t *stats.Table
+	for i := 0; i < b.N; i++ {
+		t = run(o)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rs.Cycles())/b.Elapsed().Seconds(), "cycles/sec")
+	report(b, t)
 }
 
 func report(b *testing.B, t *stats.Table) {
 	b.Helper()
 	b.StopTimer()
-	fmt.Printf("\n%s\n", t.String())
+	if *acbTables && t != nil {
+		fmt.Printf("\n%s\n", t.String())
+	}
 }
 
-// BenchmarkTableI — the paper's Table I: ACB storage (386 bytes).
+// BenchmarkTableI — the paper's Table I: ACB storage (386 bytes). No
+// simulation runs, so no cycles/sec metric.
 func BenchmarkTableI(b *testing.B) {
+	b.ReportAllocs()
 	var t *stats.Table
 	for i := 0; i < b.N; i++ {
 		t = experiments.TableI()
@@ -49,92 +80,52 @@ func BenchmarkTableI(b *testing.B) {
 // BenchmarkMispredictCensus — Sec. II motivation: branch-PC coverage of
 // dynamic mispredictions and the convergent/loop/non-convergent split.
 func BenchmarkMispredictCensus(b *testing.B) {
-	var t *stats.Table
-	for i := 0; i < b.N; i++ {
-		t = experiments.MispredictCensus(benchOpts())
-	}
-	report(b, t)
+	benchExperiment(b, experiments.MispredictCensus)
 }
 
 // BenchmarkFigure1 — perfect-BP headroom vs core scaling.
 func BenchmarkFigure1(b *testing.B) {
-	var t *stats.Table
-	for i := 0; i < b.N; i++ {
-		t = experiments.Figure1(benchOpts())
-	}
-	report(b, t)
+	benchExperiment(b, experiments.Figure1)
 }
 
 // BenchmarkFigure6 — ACB speedup and flush reduction, category-wise.
 func BenchmarkFigure6(b *testing.B) {
-	var t *stats.Table
-	for i := 0; i < b.N; i++ {
-		t = experiments.Figure6(benchOpts())
-	}
-	report(b, t)
+	benchExperiment(b, experiments.Figure6)
 }
 
 // BenchmarkFigure7 — per-workload mis-speculation vs performance ratios.
 func BenchmarkFigure7(b *testing.B) {
-	var t *stats.Table
-	for i := 0; i < b.N; i++ {
-		t = experiments.Figure7(benchOpts())
-	}
-	report(b, t)
+	benchExperiment(b, experiments.Figure7)
 }
 
 // BenchmarkFigure8 — ACB vs ACB-without-Dynamo vs DMP.
 func BenchmarkFigure8(b *testing.B) {
-	var t *stats.Table
-	for i := 0; i < b.N; i++ {
-		t = experiments.Figure8(benchOpts())
-	}
-	report(b, t)
+	benchExperiment(b, experiments.Figure8)
 }
 
 // BenchmarkFigure9 — DMP vs DMP-PBH vs ACB on the D/E outlier classes.
 func BenchmarkFigure9(b *testing.B) {
-	var t *stats.Table
-	for i := 0; i < b.N; i++ {
-		t = experiments.Figure9(benchOpts())
-	}
-	report(b, t)
+	benchExperiment(b, experiments.Figure9)
 }
 
 // BenchmarkFigure10 — allocation stalls on category-E workloads.
 func BenchmarkFigure10(b *testing.B) {
-	var t *stats.Table
-	for i := 0; i < b.N; i++ {
-		t = experiments.Figure10(benchOpts())
-	}
-	report(b, t)
+	benchExperiment(b, experiments.Figure10)
 }
 
 // BenchmarkFigure11 — ACB vs DHP coverage comparison.
 func BenchmarkFigure11(b *testing.B) {
-	var t *stats.Table
-	for i := 0; i < b.N; i++ {
-		t = experiments.Figure11(benchOpts())
-	}
-	report(b, t)
+	benchExperiment(b, experiments.Figure11)
 }
 
 // BenchmarkCoreScaling — Sec. V-D: ACB on the future 8-wide core.
 func BenchmarkCoreScaling(b *testing.B) {
-	var t *stats.Table
-	for i := 0; i < b.N; i++ {
-		t = experiments.CoreScaling(benchOpts())
-	}
-	report(b, t)
+	benchExperiment(b, experiments.CoreScaling)
 }
 
 // BenchmarkPowerProxy — Sec. V-E: allocation and flush reductions.
 func BenchmarkPowerProxy(b *testing.B) {
-	var t *stats.Table
-	for i := 0; i < b.N; i++ {
-		t = experiments.PowerProxy(benchOpts())
-	}
-	report(b, t)
+	benchExperiment(b, experiments.PowerProxy)
 }
 
 // ---- Ablations ------------------------------------------------------------
@@ -149,104 +140,103 @@ func ablationWorkloads() []string {
 // runACBVariant routes the ablation sweep through the experiments
 // package's shared worker pool (baseline and variant per workload fan out
 // up to GOMAXPROCS wide; the geomean is scheduling-independent).
-func runACBVariant(b *testing.B, cfg core.Config, names []string) float64 {
+func runACBVariant(b *testing.B, rs *experiments.RunnerStats, cfg core.Config, names []string) float64 {
 	b.Helper()
-	return experiments.ACBGeomean(benchOpts(), cfg, names)
+	return experiments.ACBGeomean(benchOpts(rs), cfg, names)
+}
+
+// reportAblation finishes an ablation benchmark: cycles/sec metric plus
+// the gated result line.
+func reportAblation(b *testing.B, rs *experiments.RunnerStats, format string, args ...interface{}) {
+	b.Helper()
+	b.StopTimer()
+	b.ReportMetric(float64(rs.Cycles())/b.Elapsed().Seconds(), "cycles/sec")
+	if *acbTables {
+		fmt.Printf(format, args...)
+	}
 }
 
 // BenchmarkAblationDynamo — ACB with vs without the run-time monitor.
 func BenchmarkAblationDynamo(b *testing.B) {
+	var rs experiments.RunnerStats
+	b.ReportAllocs()
 	var with, without float64
 	for i := 0; i < b.N; i++ {
-		with = runACBVariant(b, core.DefaultConfig(), ablationWorkloads())
+		with = runACBVariant(b, &rs, core.DefaultConfig(), ablationWorkloads())
 		cfg := core.DefaultConfig()
 		cfg.UseDynamo = false
-		without = runACBVariant(b, cfg, ablationWorkloads())
+		without = runACBVariant(b, &rs, cfg, ablationWorkloads())
 	}
-	b.StopTimer()
-	fmt.Printf("\nACB geomean with Dynamo: %.3f   without: %.3f\n", with, without)
+	reportAblation(b, &rs, "\nACB geomean with Dynamo: %.3f   without: %.3f\n", with, without)
 }
 
 // BenchmarkAblationROBFrac — the Sec. III-A ROB-quartile criticality
 // refinement on vs off.
 func BenchmarkAblationROBFrac(b *testing.B) {
+	var rs experiments.RunnerStats
+	b.ReportAllocs()
 	var off, on float64
 	for i := 0; i < b.N; i++ {
-		off = runACBVariant(b, core.DefaultConfig(), ablationWorkloads())
+		off = runACBVariant(b, &rs, core.DefaultConfig(), ablationWorkloads())
 		cfg := core.DefaultConfig()
 		cfg.ROBFracLimit = 0.25
-		on = runACBVariant(b, cfg, ablationWorkloads())
+		on = runACBVariant(b, &rs, cfg, ablationWorkloads())
 	}
-	b.StopTimer()
-	fmt.Printf("\nACB geomean without ROB-quartile filter: %.3f   with: %.3f\n", off, on)
+	reportAblation(b, &rs, "\nACB geomean without ROB-quartile filter: %.3f   with: %.3f\n", off, on)
 }
 
 // BenchmarkAblationEagerACB — the Sec. V-C sensitivity study: ACB with
 // DMP-style select micro-ops instead of stall-and-transparency (the paper
 // measured only ~0.2% benefit, justifying the simpler design).
 func BenchmarkAblationEagerACB(b *testing.B) {
+	var rs experiments.RunnerStats
+	b.ReportAllocs()
 	var stall, eager float64
 	for i := 0; i < b.N; i++ {
-		stall = runACBVariant(b, core.DefaultConfig(), ablationWorkloads())
+		stall = runACBVariant(b, &rs, core.DefaultConfig(), ablationWorkloads())
 		cfg := core.DefaultConfig()
 		cfg.Eager = true
-		eager = runACBVariant(b, cfg, ablationWorkloads())
+		eager = runACBVariant(b, &rs, cfg, ablationWorkloads())
 	}
-	b.StopTimer()
-	fmt.Printf("\nACB geomean stall/transparency: %.3f   eager select-µops: %.3f\n", stall, eager)
+	reportAblation(b, &rs, "\nACB geomean stall/transparency: %.3f   eager select-µops: %.3f\n", stall, eager)
 }
 
 // BenchmarkAblationLearningWindow — sensitivity of the convergence
 // learning window N (paper: 40).
 func BenchmarkAblationLearningWindow(b *testing.B) {
+	var rs experiments.RunnerStats
+	b.ReportAllocs()
 	results := map[int]float64{}
 	for i := 0; i < b.N; i++ {
 		for _, n := range []int{16, 40, 64} {
 			cfg := core.DefaultConfig()
 			cfg.N = n
-			results[n] = runACBVariant(b, cfg, ablationWorkloads())
+			results[n] = runACBVariant(b, &rs, cfg, ablationWorkloads())
 		}
 	}
-	b.StopTimer()
-	fmt.Printf("\nACB geomean by learning window: N=16 %.3f  N=40 %.3f  N=64 %.3f\n",
+	reportAblation(b, &rs, "\nACB geomean by learning window: N=16 %.3f  N=40 %.3f  N=64 %.3f\n",
 		results[16], results[40], results[64])
 }
 
 // BenchmarkSensitivityN — the paper's N-window sweep (Sec. III-B).
 func BenchmarkSensitivityN(b *testing.B) {
-	var t *stats.Table
-	for i := 0; i < b.N; i++ {
-		t = experiments.SensitivityN(benchOpts())
-	}
-	report(b, t)
+	benchExperiment(b, experiments.SensitivityN)
 }
 
 // BenchmarkSensitivityEpoch — the Dynamo epoch-length sweep (Sec. III-C).
 func BenchmarkSensitivityEpoch(b *testing.B) {
-	var t *stats.Table
-	for i := 0; i < b.N; i++ {
-		t = experiments.SensitivityEpoch(benchOpts())
-	}
-	report(b, t)
+	benchExperiment(b, experiments.SensitivityEpoch)
 }
 
 // BenchmarkSensitivityACBTable — ACB Table size sweep (Sec. III-B:
 // "increasing its size from 32 to 256 had negligible effect").
 func BenchmarkSensitivityACBTable(b *testing.B) {
-	var t *stats.Table
-	for i := 0; i < b.N; i++ {
-		t = experiments.SensitivityACBTable(benchOpts())
-	}
-	report(b, t)
+	benchExperiment(b, experiments.SensitivityACBTable)
 }
 
 // BenchmarkSensitivityPredictor — ACB's gain across baseline predictors.
 func BenchmarkSensitivityPredictor(b *testing.B) {
-	var t *stats.Table
-	for i := 0; i < b.N; i++ {
-		t = experiments.SensitivityPredictor(benchOpts())
-	}
-	report(b, t)
+	benchExperiment(b, experiments.SensitivityPredictor)
 }
 
 // BenchmarkMultiRecon — the paper's category-B1 future-work extension:
@@ -254,11 +244,7 @@ func BenchmarkSensitivityPredictor(b *testing.B) {
 // (Sec. V-C, "ACB can be enhanced to support the same by actively
 // learning and allocating multiple reconvergence points").
 func BenchmarkMultiRecon(b *testing.B) {
-	var t *stats.Table
-	for i := 0; i < b.N; i++ {
-		t = experiments.MultiRecon(benchOpts())
-	}
-	report(b, t)
+	benchExperiment(b, experiments.MultiRecon)
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed
@@ -270,7 +256,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
-	var retired int64
+	var retired, cycles int64
 	for i := 0; i < b.N; i++ {
 		p, m := w.Build()
 		c := ooo.NewWithMemory(config.Skylake(), p, bpu.NewTAGE(bpu.DefaultTAGEConfig()), nil, m)
@@ -279,22 +265,25 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		retired += res.Retired
+		cycles += res.Cycles
 	}
 	b.ReportMetric(float64(retired)/b.Elapsed().Seconds(), "instr/s")
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
 }
 
 // BenchmarkAblationThrottle — Dynamo vs the paper's rejected pre-Dynamo
 // stall-counting throttle (Sec. V-B): the stall metric over-throttles
 // cases where saved flushes outweigh the added stalls.
 func BenchmarkAblationThrottle(b *testing.B) {
+	var rs experiments.RunnerStats
+	b.ReportAllocs()
 	var dynamo, stalls float64
 	for i := 0; i < b.N; i++ {
-		dynamo = runACBVariant(b, core.DefaultConfig(), ablationWorkloads())
+		dynamo = runACBVariant(b, &rs, core.DefaultConfig(), ablationWorkloads())
 		cfg := core.DefaultConfig()
 		cfg.UseDynamo = false
 		cfg.ThrottleStalls = true
-		stalls = runACBVariant(b, cfg, ablationWorkloads())
+		stalls = runACBVariant(b, &rs, cfg, ablationWorkloads())
 	}
-	b.StopTimer()
-	fmt.Printf("\nACB geomean with Dynamo: %.3f   with stall-count throttle: %.3f\n", dynamo, stalls)
+	reportAblation(b, &rs, "\nACB geomean with Dynamo: %.3f   with stall-count throttle: %.3f\n", dynamo, stalls)
 }

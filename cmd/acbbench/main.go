@@ -1,0 +1,285 @@
+// Command acbbench measures the simulator's hot-loop throughput on the
+// Fig. 6 workload sweep and writes a machine-readable snapshot
+// (BENCH_cycleloop.json at the repository root). The committed snapshot is
+// the performance baseline; CI's perf-gate job re-measures and compares
+// with -compare, failing on a normalized-throughput regression or on
+// allocation growth in the cycle loop.
+//
+// Raw cycles/sec is hardware-dependent, so every run also times a fixed
+// pure-Go calibration loop (refScore). The gated quantity is
+// cycles/sec ÷ refScore — simulated cycles per unit of local compute —
+// which transfers across machines of different speeds. Allocations per
+// simulated cycle are hardware-independent and gated strictly.
+//
+// Usage:
+//
+//	go run ./cmd/acbbench -out BENCH_cycleloop.json           # refresh baseline
+//	go run ./cmd/acbbench -compare BENCH_cycleloop.json       # CI gate
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"acb/internal/bpu"
+	"acb/internal/config"
+	"acb/internal/core"
+	"acb/internal/ooo"
+	"acb/internal/stats"
+	"acb/internal/workload"
+)
+
+// Snapshot is the serialized benchmark result set.
+type Snapshot struct {
+	GoVersion string         `json:"go_version"`
+	GOARCH    string         `json:"goarch"`
+	Budget    int64          `json:"budget"`
+	RefScore  float64        `json:"ref_score"` // calibration loop iterations/sec
+	Rows      []WorkloadRow  `json:"workloads"`
+	Geomean   GeomeanSummary `json:"geomean"`
+}
+
+// WorkloadRow is one (workload, scheme) measurement.
+type WorkloadRow struct {
+	Name          string  `json:"name"`
+	Scheme        string  `json:"scheme"`
+	Cycles        int64   `json:"cycles"`
+	Retired       int64   `json:"retired"`
+	WallSec       float64 `json:"wall_sec"`
+	CyclesPerSec  float64 `json:"cycles_per_sec"`
+	Normalized    float64 `json:"normalized_cps"` // cycles_per_sec / ref_score
+	Mallocs       uint64  `json:"mallocs"`
+	AllocsPerKCyc float64 `json:"allocs_per_kcycle"`
+}
+
+// GeomeanSummary aggregates the gated quantities.
+type GeomeanSummary struct {
+	NormalizedCPS float64 `json:"normalized_cps"`
+	AllocsPerKCyc float64 `json:"allocs_per_kcycle"` // arithmetic mean (zeros are legal)
+}
+
+// throughputTolerance is the allowed fractional drop in normalized
+// geomean throughput before the gate fails.
+const throughputTolerance = 0.10
+
+// allocSlack is the allowed fractional growth in per-workload
+// allocs/kcycle, plus an absolute floor so near-zero baselines don't trip
+// on runtime jitter (a map rehash landing differently, etc.).
+const (
+	allocSlackFrac = 0.05
+	allocSlackAbs  = 0.5 // allocs per kilocycle
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_cycleloop.json", "write the measured snapshot here ('' to skip)")
+		compare = flag.String("compare", "", "baseline snapshot to gate against (exit 1 on regression)")
+		budget  = flag.Int64("budget", 400_000, "retired-instruction budget per simulation")
+		repeat  = flag.Int("repeat", 3, "measurement repetitions; the fastest wall time wins")
+	)
+	flag.Parse()
+
+	snap, err := measure(*budget, *repeat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acbbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *out != "" {
+		buf, _ := json.MarshalIndent(snap, "", "  ")
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "acbbench: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	fmt.Printf("ref_score %.3g/s   geomean normalized %.4g   allocs/kcycle %.3f\n",
+		snap.RefScore, snap.Geomean.NormalizedCPS, snap.Geomean.AllocsPerKCyc)
+
+	if *compare != "" {
+		base, err := load(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acbbench: %v\n", err)
+			os.Exit(2)
+		}
+		if gate(base, snap) {
+			fmt.Println("perf gate: PASS")
+			return
+		}
+		os.Exit(1)
+	}
+}
+
+// refScore times a fixed xorshift/sum loop — pure integer compute, no
+// allocation — as a proxy for the host's single-thread speed.
+func refScore() float64 {
+	const iters = 1 << 26
+	best := 0.0
+	for r := 0; r < 3; r++ {
+		x := uint64(0x9E3779B97F4A7C15)
+		var sum uint64
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			sum += x
+		}
+		el := time.Since(t0).Seconds()
+		if sum == 42 { // defeat dead-code elimination
+			fmt.Fprintln(os.Stderr, "impossible")
+		}
+		if s := float64(iters) / el; s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// measure runs the Fig. 6 sweep (baseline and ACB engines per workload)
+// and assembles a snapshot.
+func measure(budget int64, repeat int) (*Snapshot, error) {
+	snap := &Snapshot{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Budget:    budget,
+		RefScore:  refScore(),
+	}
+	schemes := []string{"baseline", "acb"}
+	var normalized, allocs []float64
+	for _, w := range workload.All() {
+		for _, sch := range schemes {
+			row, err := measureOne(&w, sch, budget, repeat)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", w.Name, sch, err)
+			}
+			row.Normalized = row.CyclesPerSec / snap.RefScore
+			snap.Rows = append(snap.Rows, *row)
+			normalized = append(normalized, row.Normalized)
+			allocs = append(allocs, row.AllocsPerKCyc)
+		}
+	}
+	snap.Geomean.NormalizedCPS = stats.Geomean(normalized)
+	var sum float64
+	for _, a := range allocs {
+		sum += a
+	}
+	snap.Geomean.AllocsPerKCyc = sum / float64(len(allocs))
+	return snap, nil
+}
+
+// measureOne times one (workload, scheme) simulation. Engines run bare
+// (no observers), matching the throughput configuration the cycle loop is
+// optimized for. Simulated cycles and allocation counts are deterministic
+// across repetitions; wall time takes the fastest of `repeat` runs.
+func measureOne(w *workload.Workload, sch string, budget int64, repeat int) (*WorkloadRow, error) {
+	row := &WorkloadRow{Name: w.Name, Scheme: sch}
+	for r := 0; r < repeat; r++ {
+		p, m := w.Build()
+		var scheme ooo.Scheme
+		if sch == "acb" {
+			scheme = core.New(core.DefaultConfig())
+		}
+		c := ooo.NewWithMemory(config.Skylake(), p,
+			bpu.NewTAGE(bpu.DefaultTAGEConfig()), scheme, m)
+
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
+		t0 := time.Now()
+		res, err := c.Run(budget)
+		wall := time.Since(t0).Seconds()
+		runtime.ReadMemStats(&msAfter)
+		if err != nil {
+			return nil, err
+		}
+
+		mallocs := msAfter.Mallocs - msBefore.Mallocs
+		if r == 0 || wall < row.WallSec {
+			row.WallSec = wall
+		}
+		// Deterministic quantities: take them from the first rep, and use
+		// the minimum malloc count thereafter (a concurrent GC cycle can
+		// only add to the delta, never subtract).
+		if r == 0 || mallocs < row.Mallocs {
+			row.Mallocs = mallocs
+		}
+		row.Cycles = res.Cycles
+		row.Retired = res.Retired
+	}
+	row.CyclesPerSec = float64(row.Cycles) / row.WallSec
+	row.AllocsPerKCyc = float64(row.Mallocs) / float64(row.Cycles) * 1000
+	return row, nil
+}
+
+func load(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// gate compares the fresh measurement against the committed baseline and
+// reports whether it passes. Throughput is compared via the
+// hardware-normalized geomean; allocations per kilocycle are compared
+// per (workload, scheme) row.
+func gate(base, cur *Snapshot) bool {
+	ok := true
+	if base.Budget != cur.Budget {
+		fmt.Fprintf(os.Stderr, "perf gate: budget mismatch (baseline %d, current %d) — not comparable\n",
+			base.Budget, cur.Budget)
+		return false
+	}
+
+	floor := base.Geomean.NormalizedCPS * (1 - throughputTolerance)
+	if cur.Geomean.NormalizedCPS < floor {
+		fmt.Fprintf(os.Stderr,
+			"perf gate: FAIL normalized throughput geomean %.4g < %.4g (baseline %.4g - %d%%)\n",
+			cur.Geomean.NormalizedCPS, floor, base.Geomean.NormalizedCPS, int(throughputTolerance*100))
+		ok = false
+	} else {
+		fmt.Printf("throughput: normalized geomean %.4g vs baseline %.4g (floor %.4g) ok\n",
+			cur.Geomean.NormalizedCPS, base.Geomean.NormalizedCPS, floor)
+	}
+
+	baseRows := map[string]WorkloadRow{}
+	for _, r := range base.Rows {
+		baseRows[r.Name+"/"+r.Scheme] = r
+	}
+	keys := make([]string, 0, len(cur.Rows))
+	curRows := map[string]WorkloadRow{}
+	for _, r := range cur.Rows {
+		k := r.Name + "/" + r.Scheme
+		keys = append(keys, k)
+		curRows[k] = r
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b, found := baseRows[k]
+		if !found {
+			continue // new workload: no baseline yet
+		}
+		c := curRows[k]
+		limit := b.AllocsPerKCyc*(1+allocSlackFrac) + allocSlackAbs
+		if c.AllocsPerKCyc > limit {
+			fmt.Fprintf(os.Stderr, "perf gate: FAIL %s allocs/kcycle %.3f > %.3f (baseline %.3f)\n",
+				k, c.AllocsPerKCyc, limit, b.AllocsPerKCyc)
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Printf("allocations: all %d rows within %.0f%%+%.1f of baseline\n",
+			len(keys), allocSlackFrac*100, allocSlackAbs)
+	}
+	return ok
+}

@@ -209,14 +209,21 @@ func (t *TAGE) Update(pc uint64, pred Prediction, taken bool) {
 
 func (t *TAGE) allocate(_ uint64, pred Prediction, taken bool) {
 	start := pred.provider + 1
-	// Find candidate tables with a non-useful victim.
-	var candidates []int
+	// Find candidate tables with a non-useful victim. Only the first two
+	// candidates are ever chosen from, so track them without a slice.
+	c0, c1, nCand := -1, -1, 0
 	for i := start; i < t.nTables; i++ {
 		if t.entries[i][pred.indices[i]].u == 0 {
-			candidates = append(candidates, i)
+			switch nCand {
+			case 0:
+				c0 = i
+			case 1:
+				c1 = i
+			}
+			nCand++
 		}
 	}
-	if len(candidates) == 0 {
+	if nCand == 0 {
 		// Decay usefulness so future allocations succeed.
 		for i := start; i < t.nTables; i++ {
 			e := &t.entries[i][pred.indices[i]]
@@ -227,9 +234,9 @@ func (t *TAGE) allocate(_ uint64, pred Prediction, taken bool) {
 		return
 	}
 	// Prefer shorter history with 2/3 probability, per Seznec.
-	pick := candidates[0]
-	if len(candidates) > 1 && t.nextRand()%3 == 0 {
-		pick = candidates[1]
+	pick := c0
+	if nCand > 1 && t.nextRand()%3 == 0 {
+		pick = c1
 	}
 	e := &t.entries[pick][pred.indices[pick]]
 	e.tag = pred.tags[pick]

@@ -102,14 +102,16 @@ func (o *Options) fill() {
 	}
 }
 
-// RunnerStats accumulates pool totals: jobs run, wall-clock time, and the
-// cumulative single-threaded simulation time, whose ratio is the
-// effective parallel speedup.
+// RunnerStats accumulates pool totals: jobs run, wall-clock time, the
+// cumulative single-threaded simulation time (whose ratio to wall time is
+// the effective parallel speedup), and total simulated cycles — the
+// numerator of the harness's own cycles-per-second throughput metric.
 type RunnerStats struct {
-	mu   sync.Mutex
-	jobs int64
-	wall time.Duration
-	sim  time.Duration
+	mu     sync.Mutex
+	jobs   int64
+	wall   time.Duration
+	sim    time.Duration
+	cycles int64
 }
 
 func (s *RunnerStats) add(jobs int, wall, sim time.Duration) {
@@ -118,6 +120,21 @@ func (s *RunnerStats) add(jobs int, wall, sim time.Duration) {
 	s.jobs += int64(jobs)
 	s.wall += wall
 	s.sim += sim
+}
+
+// AddCycles credits simulated cycles to the pool totals (called once per
+// completed simulation).
+func (s *RunnerStats) AddCycles(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cycles += n
+}
+
+// Cycles returns the total simulated cycles across pools.
+func (s *RunnerStats) Cycles() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cycles
 }
 
 // Jobs returns the total number of simulations dispatched.
@@ -387,6 +404,9 @@ func runOne(opts *Options, cache *profileCache, w *workload.Workload, kind Schem
 	}
 	if opts.CPIStats != nil && res.CPI != nil {
 		opts.CPIStats.Add(res.Scheme, res.CPI)
+	}
+	if opts.Stats != nil {
+		opts.Stats.AddCycles(res.Cycles)
 	}
 	opts.Logf("%-12s %-12s IPC=%.3f flushes/k=%.2f", w.Name, kind, res.IPC, res.FlushPerKilo())
 	return res

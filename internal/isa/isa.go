@@ -182,30 +182,33 @@ type Instruction struct {
 	Target int
 }
 
-// HasDest reports whether the instruction writes a destination register.
-func (in *Instruction) HasDest() bool {
-	switch in.Op {
-	case Add, Sub, And, Or, Xor, Shl, Shr, Mul, Div,
-		AddI, AndI, XorI, ShrI, MulI, Mov, MovI, Load:
-		return true
-	}
-	return false
+// opHasDest and opNSrc are per-opcode metadata tables. The rename stage
+// consults them once per instruction; a data-dependent table load avoids
+// the hard-to-predict multiway branch a switch compiles to (measurably
+// hot in the simulator's rename loop). opNSrc holds Br's one-source case;
+// NumSources adds the Cond-dependent second source.
+var opHasDest = [numOps]bool{
+	Add: true, Sub: true, And: true, Or: true, Xor: true, Shl: true,
+	Shr: true, Mul: true, Div: true, AddI: true, AndI: true, XorI: true,
+	ShrI: true, MulI: true, Mov: true, MovI: true, Load: true,
 }
+
+var opNSrc = [numOps]uint8{
+	Add: 2, Sub: 2, And: 2, Or: 2, Xor: 2, Shl: 2, Shr: 2, Mul: 2,
+	Div: 2, Store: 2, AddI: 1, AndI: 1, XorI: 1, ShrI: 1, MulI: 1,
+	Mov: 1, Load: 1, Br: 1,
+}
+
+// HasDest reports whether the instruction writes a destination register.
+func (in *Instruction) HasDest() bool { return opHasDest[in.Op] }
 
 // NumSources returns how many register sources the instruction reads.
 func (in *Instruction) NumSources() int {
-	switch in.Op {
-	case Add, Sub, And, Or, Xor, Shl, Shr, Mul, Div, Store:
-		return 2
-	case AddI, AndI, XorI, ShrI, MulI, Mov, Load:
-		return 1
-	case Br:
-		if in.Cond.UsesRs2() {
-			return 2
-		}
-		return 1
+	n := int(opNSrc[in.Op])
+	if in.Op == Br && in.Cond.UsesRs2() {
+		n = 2
 	}
-	return 0
+	return n
 }
 
 // Sources returns the register sources actually read by the instruction.
@@ -254,6 +257,10 @@ func (in *Instruction) String() string {
 	}
 	return fmt.Sprintf("?(%d)", uint8(in.Op))
 }
+
+// MaxExecLatency is the largest latency ExecLatency can return (Div); the
+// OOO core sizes its completion calendar with it.
+const MaxExecLatency = 20
 
 // ExecLatency returns the execution latency in cycles for non-memory
 // operations (memory latency is determined by the cache hierarchy).

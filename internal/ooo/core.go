@@ -50,14 +50,14 @@ type fetchedInst struct {
 	trueKnown   bool
 	trueTaken   bool
 	histAtFetch uint64
-	wrongTok    *flushToken
+	wrongTok    flushToken
 }
 
 // flushToken identifies the fetch-divergence cause so the flush that
-// repairs it can clear the wrong-path state. It must not be zero-sized:
-// tokens are compared by pointer identity, and Go gives every zero-size
-// allocation the same address.
-type flushToken struct{ _ byte }
+// repairs it can clear the wrong-path state. Tokens are drawn from a
+// per-core monotonic counter (newTok); zero means "no token". An integer
+// identity avoids a heap allocation per mispredicted fetch.
+type flushToken uint64
 
 // oracleSnap snapshots the functional oracle at a predication-context
 // open, so a divergent context can rewind it.
@@ -74,7 +74,61 @@ type selectSpec struct {
 	log   isa.Reg
 	selT  int
 	selN  int
-	frees []int
+	frees [maxFreeOnRetire]int32
+	nFree uint8
+}
+
+// compRec is one scheduled completion event: the sequence number plus the
+// allocation generation it was issued under. Squashed sequence numbers are
+// reused after a flush, so a record whose generation no longer matches the
+// live entry is stale and is dropped lazily at its bucket's cycle — which
+// is what makes flushAfter O(squashed) instead of O(in-flight completions)
+// (it used to rebuild the whole completing map).
+type compRec struct {
+	seq int64
+	gen uint64
+}
+
+// seqList is an in-order list of in-flight sequence numbers (the LQ/SQ
+// program-order lists) with an amortized O(1) front pop that never
+// reallocates: popping advances head, and the buffer compacts in place
+// once the dead prefix grows. The old `list = list[1:]` idiom leaked the
+// front capacity, so every LQSize retires forced a fresh allocation.
+type seqList struct {
+	buf  []int64
+	head int
+}
+
+func (l *seqList) len() int      { return len(l.buf) - l.head }
+func (l *seqList) live() []int64 { return l.buf[l.head:] }
+
+func (l *seqList) push(s int64) { l.buf = append(l.buf, s) }
+
+// popFrontIf removes s when it is the oldest live element.
+func (l *seqList) popFrontIf(s int64) {
+	if l.head < len(l.buf) && l.buf[l.head] == s {
+		l.head++
+		if l.head == len(l.buf) {
+			l.buf = l.buf[:0]
+			l.head = 0
+		} else if l.head >= 32 && l.head*2 >= len(l.buf) {
+			n := copy(l.buf, l.buf[l.head:])
+			l.buf = l.buf[:n]
+			l.head = 0
+		}
+	}
+}
+
+// filter keeps live seqs ≤ limit, preserving order, and re-compacts.
+func (l *seqList) filter(limit int64) {
+	out := l.buf[:0]
+	for _, s := range l.buf[l.head:] {
+		if s <= limit {
+			out = append(out, s)
+		}
+	}
+	l.buf = out
+	l.head = 0
 }
 
 // Core is one simulated out-of-order core bound to a program.
@@ -95,18 +149,29 @@ type Core struct {
 	// committed state even when the run stops with work in flight.
 	commitRat [isa.NumRegs]int
 
-	iq     []int64
-	loads  []int64
-	stores []int64
+	// iq holds direct entry pointers (ring slots are stable); flushAfter
+	// filters it by seq before any squashed slot can be reallocated, so no
+	// stale pointer survives into the issue scan.
+	iq []*robEntry
+	loads  seqList
+	stores seqList
 
+	// fetchQ is a fixed-capacity ring (head fqHead, length fqLen) of the
+	// decoupled fetch queue. The old append/[1:] slice churned an
+	// allocation every fetchQCap instructions and copied each 184-byte
+	// fetchedInst twice; slots are now written in place.
 	fetchQ    []fetchedInst
-	fetchQCap int
+	fqHead    int
+	fqLen     int
+	fetchQCap int // architectural capacity (occupancy bound)
+	fqMask    int // len(fetchQ)-1; storage is a power of two
 
 	// Fetch engine.
 	fetchPC     int
 	fetchParked bool
 	onWrongPath bool
-	wrongTok    *flushToken
+	wrongTok    flushToken
+	tokGen      flushToken
 	dbgWrongPC  int
 	dbgWrongCyc int64
 	dbgWrongWhy string
@@ -136,9 +201,32 @@ type Core struct {
 	// commit, loads read it beneath store-queue forwarding.
 	commitMem *isa.Memory
 
+	// pendingSelects is drained from selHead; the backing array is reused
+	// once empty instead of sliding with `[1:]`.
 	pendingSelects []selectSpec
+	selHead        int
 
-	completing map[int64][]int64
+	// compRing is a latency calendar: bucket (doneCycle mod len) holds the
+	// completion records for that cycle, insertion-sorted by seq so the
+	// oldest mispredict still flushes first without a per-cycle sort. Its
+	// length exceeds the maximum schedulable latency, so a bucket can
+	// never mix two distinct doneCycles. compPending counts records across
+	// all buckets (stale ones included) so quiescent-cycle skipping knows
+	// whether a completion wake-up exists at all.
+	compRing    [][]compRec
+	compMask    int64 // len(compRing)-1; storage is a power of two
+	compMaxLat  int   // largest schedulable latency (calendar bound)
+	compPending int
+
+	// progress is reset each cycle and set by any stage that changes
+	// machine state; a cycle that ends with it clear is quiescent and the
+	// run loop may jump to the next completion/fetch-ready watermark (see
+	// nextEventCycle). stallSlotsThisCycle and stallCtxScratch record the
+	// per-cycle stat increments a stalled-but-quiescent cycle repeats, so
+	// skipping replays them exactly.
+	progress            bool
+	stallSlotsThisCycle int64
+	stallCtxScratch     []*ctxState
 
 	cycle    int64
 	retired  int64
@@ -235,6 +323,15 @@ func (r *Result) FlushPerKilo() float64 {
 // New builds a core for the program with the given configuration,
 // predictor and optional predication scheme (nil = plain speculation).
 func New(cfg config.Core, program []isa.Instruction, predictor bpu.Predictor, scheme Scheme) *Core {
+	fqCap := cfg.FetchWidth * cfg.FrontEndLatency
+	if fqCap < 1 {
+		fqCap = 1
+	}
+	// Ring storage is rounded up to powers of two so slot computations are
+	// masks rather than divisions (they run several times per cycle).
+	fqStore := ceilPow2(fqCap)
+	maxLat := maxSchedLatency(cfg)
+	compStore := ceilPow2(maxLat + 1)
 	c := &Core{
 		cfg:        cfg,
 		prog:       program,
@@ -243,8 +340,12 @@ func New(cfg config.Core, program []isa.Instruction, predictor bpu.Predictor, sc
 		scheme:     scheme,
 		rob:        newROB(cfg.ROBSize),
 		prf:        make([]prfEntry, cfg.PRFSize),
-		fetchQCap:  cfg.FetchWidth * cfg.FrontEndLatency,
-		completing: make(map[int64][]int64),
+		fetchQ:     make([]fetchedInst, fqStore),
+		fetchQCap:  fqCap,
+		fqMask:     fqStore - 1,
+		compRing:   make([][]compRec, compStore),
+		compMask:   int64(compStore - 1),
+		compMaxLat: maxLat,
 		perPC:      make(map[int]*BranchStat),
 		haltSeq:    -1,
 	}
@@ -273,6 +374,32 @@ func NewWithMemory(cfg config.Core, program []isa.Instruction, predictor bpu.Pre
 	return c
 }
 
+// maxSchedLatency returns the largest completion latency issueStage can
+// ever schedule under cfg: the full-miss DRAM path, any individual cache
+// hit, or the longest execution latency. It sizes the completion calendar
+// so bucket (doneCycle mod len) is collision-free.
+func maxSchedLatency(cfg config.Core) int {
+	m := isa.MaxExecLatency
+	for _, l := range [...]int{cfg.Mem.DRAMLatency, cfg.Mem.LLCLat, cfg.Mem.L2Lat, cfg.Mem.L1Lat} {
+		if l > m {
+			m = l
+		}
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // ErrDeadlock is returned when the pipeline makes no forward progress.
 var ErrDeadlock = errors.New("ooo: pipeline deadlock")
 
@@ -290,8 +417,8 @@ func (c *Core) Run(maxRetired int64) (Result, error) {
 
 // RunContext is Run with cooperative cancellation: when ctx is cancelled
 // (or times out) mid-simulation the run stops within ctxCheckInterval
-// cycles and returns the statistics accumulated so far together with an
-// error wrapping ctx.Err(). A nil ctx means context.Background().
+// loop iterations and returns the statistics accumulated so far together
+// with an error wrapping ctx.Err(). A nil ctx means context.Background().
 func (c *Core) RunContext(ctx context.Context, maxRetired int64) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -299,21 +426,32 @@ func (c *Core) RunContext(ctx context.Context, maxRetired int64) (Result, error)
 	if c.commitMem == nil {
 		c.commitMem = isa.NewMemory()
 	}
+	// Per-cycle observers see every cycle individually, so event-driven
+	// skipping is enabled only on bare runs (the throughput path).
+	skippable := c.pipe == nil && c.cpi == nil && c.trace == nil && c.dbgRing == nil
 	var lastRetired int64
 	var stuck int64
+	var iter int64
 	halted := false
 	for c.retired < maxRetired {
-		if c.cycle%ctxCheckInterval == 0 {
+		if iter&(ctxCheckInterval-1) == 0 {
 			if err := ctx.Err(); err != nil {
 				return c.result(halted), fmt.Errorf("ooo: run cancelled at cycle %d (retired=%d): %w",
 					c.cycle, c.retired, err)
 			}
 		}
+		iter++
 		c.cycle++
+		c.progress = false
+		c.stallSlotsThisCycle = 0
+		c.stallCtxScratch = c.stallCtxScratch[:0]
 		h := c.stepCycle()
 		if h {
 			halted = true
 			break
+		}
+		if skippable && !c.progress {
+			c.skipToNextEvent()
 		}
 		if c.retired == lastRetired {
 			stuck++
@@ -327,6 +465,101 @@ func (c *Core) RunContext(ctx context.Context, maxRetired int64) (Result, error)
 		}
 	}
 	return c.result(halted), nil
+}
+
+// skipToNextEvent advances the clock over a quiescent stretch: when no
+// stage changed state this cycle, the machine provably repeats the same
+// (idempotent) work every cycle until the next scheduled completion or the
+// fetch queue's head becomes ready. Jumping there directly is
+// cycle-accurate as long as the per-cycle stat increments a stalled cycle
+// performs — rename allocation-stall slots and gated body-wakeup counts —
+// are replayed once per skipped cycle, which is exactly what the
+// stallSlotsThisCycle / stallCtxScratch records are for.
+func (c *Core) skipToNextEvent() {
+	next, ok := c.nextEventCycle()
+	if !ok || next <= c.cycle+1 {
+		return
+	}
+	skipped := next - 1 - c.cycle
+	if c.stallSlotsThisCycle > 0 {
+		c.s.allocStallSlots += skipped * c.stallSlotsThisCycle
+	}
+	for _, sc := range c.stallCtxScratch {
+		sc.bodyStalls += skipped
+	}
+	c.cycle = next - 1
+}
+
+// nextEventCycle returns the earliest future cycle at which machine state
+// can change: the nearest non-empty completion bucket, or the cycle the
+// fetch queue's head leaves the front-end pipe. A quiescent machine with
+// neither watermark is deadlocked; returning false leaves it to the
+// cycle-by-cycle stuck detector so ErrDeadlock semantics are unchanged.
+func (c *Core) nextEventCycle() (int64, bool) {
+	next := int64(-1)
+	if c.fqLen > 0 {
+		if rc := c.fetchQ[c.fqHead].readyCycle; rc > c.cycle {
+			next = rc
+		}
+	}
+	if c.compPending > 0 {
+		n := int64(len(c.compRing))
+		for d := int64(1); d < n; d++ {
+			if len(c.compRing[(c.cycle+d)&c.compMask]) > 0 {
+				if cand := c.cycle + d; next < 0 || cand < next {
+					next = cand
+				}
+				break
+			}
+		}
+	}
+	return next, next > 0
+}
+
+// fqReserve returns the next free fetch-queue slot for in-place
+// initialization; the caller must fqCommit exactly once afterwards.
+// Callers guarantee fqLen < fetchQCap before reserving.
+func (c *Core) fqReserve() *fetchedInst {
+	return &c.fetchQ[(c.fqHead+c.fqLen)&c.fqMask]
+}
+
+// fqCommit publishes the most recently reserved slot.
+func (c *Core) fqCommit() { c.fqLen++ }
+
+// fqFront returns the oldest fetched instruction (caller checks fqLen).
+func (c *Core) fqFront() *fetchedInst { return &c.fetchQ[c.fqHead] }
+
+// fqPopFront consumes the oldest fetched instruction.
+func (c *Core) fqPopFront() {
+	c.fqHead = (c.fqHead + 1) & c.fqMask
+	c.fqLen--
+}
+
+// fqReset empties the fetch queue (pipeline flush).
+func (c *Core) fqReset() {
+	c.fqHead = 0
+	c.fqLen = 0
+}
+
+// scheduleCompletion books e's completion into the latency calendar,
+// insertion-sorted by seq so the per-cycle drain needs no sort to process
+// oldest-first.
+func (c *Core) scheduleCompletion(e *robEntry, lat int) {
+	if lat > c.compMaxLat || lat < 1 {
+		panic(fmt.Sprintf("ooo: completion latency %d outside calendar [1,%d]", lat, c.compMaxLat))
+	}
+	e.doneCycle = c.cycle + int64(lat)
+	slot := e.doneCycle & c.compMask
+	b := c.compRing[slot]
+	i := len(b)
+	b = append(b, compRec{})
+	for i > 0 && b[i-1].seq > e.seq {
+		b[i] = b[i-1]
+		i--
+	}
+	b[i] = compRec{seq: e.seq, gen: e.gen}
+	c.compRing[slot] = b
+	c.compPending++
 }
 
 // stepCycle advances one cycle; it returns true when the program's Halt
@@ -384,6 +617,12 @@ func (c *Core) result(halted bool) Result {
 
 // dbgLog records a fetch/flush event in a small ring for panic dumps;
 // enabled when dbgRing is non-nil.
+// newTok mints a fresh, never-zero flush token.
+func (c *Core) newTok() flushToken {
+	c.tokGen++
+	return c.tokGen
+}
+
 func (c *Core) dbgLog(format string, args ...interface{}) {
 	if c.dbgRing == nil {
 		return

@@ -2,7 +2,6 @@ package ooo
 
 import (
 	"fmt"
-	"sort"
 
 	"acb/internal/isa"
 )
@@ -17,22 +16,24 @@ func (c *Core) completeStage() {
 		if ctx.diverged && ctx.branchDone && !ctx.flushedDiv {
 			if be := c.rob.at(ctx.branchSeq); be != nil {
 				c.divergenceFlush(be)
+				c.progress = true
 			}
 		}
 	}
 
-	seqs := c.completing[c.cycle]
-	if len(seqs) == 0 {
+	slot := c.cycle & c.compMask
+	bucket := c.compRing[slot]
+	if len(bucket) == 0 {
 		return
 	}
-	delete(c.completing, c.cycle)
-	// Oldest first, so the oldest mispredict flushes before younger ones.
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	for _, seq := range seqs {
-		e := c.rob.at(seq)
-		if e == nil || e.done || !e.issued {
-			continue // squashed or stale (reused seq)
+	// Records are insertion-sorted by seq, so the oldest mispredict
+	// flushes before younger ones without a per-cycle sort.
+	for _, rec := range bucket {
+		e := c.rob.at(rec.seq)
+		if e == nil || e.gen != rec.gen || e.done || !e.issued {
+			continue // squashed, or a stale record against a reused seq
 		}
+		c.progress = true
 		e.done = true
 		if e.dest >= 0 {
 			c.prf[e.dest] = prfEntry{val: e.result, ready: true}
@@ -44,6 +45,8 @@ func (c *Core) completeStage() {
 			c.resolveBranch(e)
 		}
 	}
+	c.compPending -= len(bucket)
+	c.compRing[slot] = bucket[:0]
 }
 
 // resolveBranch handles a conditional branch's resolution.
@@ -85,10 +88,12 @@ func (c *Core) resolveBranch(e *robEntry) {
 			// fetch-time history and insert the actual outcome.
 			c.pred.SetHistory(e.pred.Hist)
 			c.pred.PushHistory(uint64(e.pc), e.resolvedTaken)
-			if e.wrongTok != nil && e.wrongTok == c.wrongTok {
-				c.dbgLog("mispredict flush clears wrongTok (pc=%d seq=%d)", e.pc, e.seq)
+			if e.wrongTok != 0 && e.wrongTok == c.wrongTok {
+				if c.dbgRing != nil {
+					c.dbgLog("mispredict flush clears wrongTok (pc=%d seq=%d)", e.pc, e.seq)
+				}
 				c.onWrongPath = false
-				c.wrongTok = nil
+				c.wrongTok = 0
 				if !c.oracleHalted && c.oracle.PC != c.fetchPC {
 					panic(fmt.Sprintf("ooo: oracle desync after flush: oracle=%d fetch=%d", c.oracle.PC, c.fetchPC))
 				}
@@ -116,8 +121,8 @@ func (c *Core) invalidateFalseMemOps(ctx *ctxState) {
 			}
 		}
 	}
-	mark(c.loads)
-	mark(c.stores)
+	mark(c.loads.live())
+	mark(c.stores.live())
 }
 
 // divergenceFlush forces a pipeline flush at a predicated branch whose
@@ -180,17 +185,21 @@ func (c *Core) divergenceFlush(e *robEntry) {
 			panic(fmt.Sprintf("ooo: divergence redirect mismatch: oracle=%d target=%d", c.oracle.PC, target))
 		}
 	}
-	if c.wrongTok == ctx.tok {
-		c.dbgLog("divflush clears wrongTok (ctx%d)", ctx.id)
+	if c.wrongTok == ctx.tok && ctx.tok != 0 {
+		if c.dbgRing != nil {
+			c.dbgLog("divflush clears wrongTok (ctx%d)", ctx.id)
+		}
 		c.onWrongPath = false
-		c.wrongTok = nil
+		c.wrongTok = 0
 	}
 }
 
 // flushAfter squashes everything younger than e, restores the RAT from
 // e's checkpoint, clears the front end and redirects fetch.
 func (c *Core) flushAfter(e *robEntry, redirectPC int) {
-	c.dbgLog("flush at seq=%d pc=%d role=%d redirect=%d oracle=%d wrong=%v", e.seq, e.pc, e.role, redirectPC, c.oracle.PC, c.onWrongPath)
+	if c.dbgRing != nil {
+		c.dbgLog("flush at seq=%d pc=%d role=%d redirect=%d oracle=%d wrong=%v", e.seq, e.pc, e.role, redirectPC, c.oracle.PC, c.onWrongPath)
+	}
 	c.s.flushes++
 	if !e.hasCkpt {
 		panic("ooo: flush at instruction without RAT checkpoint")
@@ -202,23 +211,19 @@ func (c *Core) flushAfter(e *robEntry, redirectPC int) {
 	})
 	c.rat = e.ratCkpt
 
-	c.iq = filterSeqs(c.iq, e.seq)
-	c.loads = filterSeqs(c.loads, e.seq)
-	c.stores = filterSeqs(c.stores, e.seq)
-	// Squashed sequence numbers are reused after the flush, so stale
-	// completion events must not fire against their new owners.
-	for cyc, seqs := range c.completing {
-		filtered := filterSeqs(seqs, e.seq)
-		if len(filtered) == 0 {
-			delete(c.completing, cyc)
-		} else {
-			c.completing[cyc] = filtered
-		}
-	}
+	c.iq = filterEntries(c.iq, e.seq)
+	c.loads.filter(e.seq)
+	c.stores.filter(e.seq)
+	// The completion calendar is untouched: squashed sequence numbers are
+	// reused after the flush, but every record carries its allocation
+	// generation, so stale events are rejected lazily when their bucket's
+	// cycle arrives (completeStage). Flush cost no longer scales with the
+	// number of in-flight completions.
 
 	// Front-end reset.
-	c.fetchQ = c.fetchQ[:0]
+	c.fqReset()
 	c.pendingSelects = c.pendingSelects[:0]
+	c.selHead = 0
 	c.ctx = nil
 	c.ctxPhase = 0
 	c.pendingClose = nil
@@ -252,13 +257,17 @@ func (c *Core) flushAfter(e *robEntry, redirectPC int) {
 	}
 }
 
-// filterSeqs keeps seqs ≤ limit, preserving order.
-func filterSeqs(seqs []int64, limit int64) []int64 {
-	out := seqs[:0]
-	for _, s := range seqs {
-		if s <= limit {
-			out = append(out, s)
+// filterEntries keeps entries with seq ≤ limit, preserving order.
+func filterEntries(es []*robEntry, limit int64) []*robEntry {
+	out := es[:0]
+	for _, e := range es {
+		if e.seq <= limit {
+			out = append(out, e)
 		}
+	}
+	// Clear the dropped tail so squashed entries don't linger reachable.
+	for i := len(out); i < len(es); i++ {
+		es[i] = nil
 	}
 	return out
 }

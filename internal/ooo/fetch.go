@@ -12,7 +12,7 @@ import (
 // its reconvergence point.
 func (c *Core) fetchStage() {
 	for i := 0; i < c.cfg.FetchWidth; i++ {
-		if len(c.fetchQ) >= c.fetchQCap || c.fetchParked {
+		if c.fqLen >= c.fetchQCap || c.fetchParked {
 			return
 		}
 		var consumed, stop bool
@@ -21,6 +21,9 @@ func (c *Core) fetchStage() {
 		} else {
 			consumed, stop = c.fetchNormalSlot()
 		}
+		// Reaching a slot function always mutates front-end state (a fetch,
+		// a phase transition, parking, ...), so the cycle made progress.
+		c.progress = true
 		if stop {
 			return
 		}
@@ -30,15 +33,29 @@ func (c *Core) fetchStage() {
 	}
 }
 
-// newFetched builds the common part of a fetch-queue entry.
-func (c *Core) newFetched(pc int, inst *isa.Instruction) fetchedInst {
-	fi := fetchedInst{
-		pc:          pc,
-		inst:        inst,
-		readyCycle:  c.cycle + int64(c.cfg.FrontEndLatency),
-		wrongPath:   c.onWrongPath,
-		histAtFetch: c.pred.History(),
-	}
+// newFetched reserves the next fetch-queue ring slot and initialises its
+// common fields in place. Every call is paired with exactly one pushFetch,
+// which commits the slot. The reset is field-wise (not a composite-literal
+// assignment) to avoid copying the 184-byte struct through a stack
+// temporary; pred is deliberately left stale — readers are guarded by
+// hasPred.
+func (c *Core) newFetched(pc int, inst *isa.Instruction) *fetchedInst {
+	fi := c.fqReserve()
+	fi.pc = pc
+	fi.inst = inst
+	fi.readyCycle = c.cycle + int64(c.cfg.FrontEndLatency)
+	fi.wrongPath = c.onWrongPath
+	fi.role = RoleNone
+	fi.ctx = nil
+	fi.pathTaken = false
+	fi.ctxSwitch = false
+	fi.ctxClose = nil
+	fi.hasPred = false
+	fi.predTaken = false
+	fi.trueKnown = false
+	fi.trueTaken = false
+	fi.histAtFetch = c.pred.History()
+	fi.wrongTok = 0
 	if c.pendingClose != nil {
 		fi.ctxClose = c.pendingClose
 		c.pendingClose = nil
@@ -57,7 +74,9 @@ func (c *Core) fetchNormalSlot() (consumed, stop bool) {
 	inst := &c.prog[pc]
 	fi := c.newFetched(pc, inst)
 	trueKnown := !c.onWrongPath && !c.oracleHalted
-	c.dbgLog("fetch pc=%d wrong=%v oracle=%d", pc, c.onWrongPath, c.oracle.PC)
+	if c.dbgRing != nil {
+		c.dbgLog("fetch pc=%d wrong=%v oracle=%d", pc, c.onWrongPath, c.oracle.PC)
+	}
 	if trueKnown && c.oracle.PC != pc {
 		extra := fmt.Sprintf(" liveCtxs=%d snaps=%d pendingClose=%v lastWrong=%s@pc%d cyc%d",
 			len(c.liveCtxs), len(c.snapshots), c.pendingClose != nil, c.dbgWrongWhy, c.dbgWrongPC, c.dbgWrongCyc)
@@ -76,7 +95,7 @@ func (c *Core) fetchNormalSlot() (consumed, stop bool) {
 			c.oracleHalted = true
 		}
 		c.pushFetch(fi)
-		c.emitFetchEvent(&fi, false, 0)
+		c.emitFetchEvent(fi, false, 0)
 		return true, true
 
 	case isa.Jmp:
@@ -85,7 +104,7 @@ func (c *Core) fetchNormalSlot() (consumed, stop bool) {
 			c.oracle.Step(c.prog)
 		}
 		c.pushFetch(fi)
-		c.emitFetchEvent(&fi, true, inst.Target)
+		c.emitFetchEvent(fi, true, inst.Target)
 		return true, false
 
 	case isa.Br:
@@ -97,14 +116,14 @@ func (c *Core) fetchNormalSlot() (consumed, stop bool) {
 			c.oracle.Step(c.prog)
 		}
 		c.pushFetch(fi)
-		c.emitFetchEvent(&fi, false, 0)
+		c.emitFetchEvent(fi, false, 0)
 		return true, false
 	}
 }
 
 // fetchBranch handles a conditional branch in normal fetch: predict it,
 // consult the predication scheme, and either speculate or open a context.
-func (c *Core) fetchBranch(pc int, inst *isa.Instruction, fi fetchedInst, trueKnown bool) (consumed, stop bool) {
+func (c *Core) fetchBranch(pc int, inst *isa.Instruction, fi *fetchedInst, trueKnown bool) (consumed, stop bool) {
 	trueTaken := false
 	if trueKnown {
 		trueTaken = evalBranchOn(inst, &c.oracle.Regs)
@@ -117,9 +136,9 @@ func (c *Core) fetchBranch(pc int, inst *isa.Instruction, fi fetchedInst, trueKn
 
 	if c.scheme != nil {
 		if spec, ok := c.scheme.ShouldPredicate(pc, pred.Taken, pred.Conf, c.pred.History()); ok {
-			c.openCtx(pc, spec, trueKnown, trueTaken, &fi)
+			c.openCtx(pc, spec, trueKnown, trueTaken, fi)
 			c.pushFetch(fi)
-			c.emitFetchEvent(&fi, spec.FirstTaken, inst.Target)
+			c.emitFetchEvent(fi, spec.FirstTaken, inst.Target)
 			return true, false
 		}
 	}
@@ -135,7 +154,7 @@ func (c *Core) fetchBranch(pc int, inst *isa.Instruction, fi fetchedInst, trueKn
 	if trueKnown {
 		c.oracle.Step(c.prog)
 		if pred.Taken != trueTaken {
-			tok := &flushToken{}
+			tok := c.newTok()
 			fi.wrongTok = tok
 			c.wrongTok = tok
 			c.onWrongPath = true
@@ -143,7 +162,7 @@ func (c *Core) fetchBranch(pc int, inst *isa.Instruction, fi fetchedInst, trueKn
 		}
 	}
 	c.pushFetch(fi)
-	c.emitFetchEvent(&fi, pred.Taken, inst.Target)
+	c.emitFetchEvent(fi, pred.Taken, inst.Target)
 	return true, false
 }
 
@@ -158,13 +177,15 @@ func (c *Core) openCtx(pc int, spec PredSpec, trueKnown, trueTaken bool, fi *fet
 		branchPC:  pc,
 		branchSeq: -1,
 		wrongPath: c.onWrongPath,
-		tok:       &flushToken{},
+		tok:       c.newTok(),
 	}
 	fi.role = RolePredBranch
 	fi.ctx = ctx
 	c.liveCtxs = append(c.liveCtxs, ctx)
 	c.s.fetchCtxOpens++
-	c.dbgLog("openCtx ctx%d pc=%d recon=%d firstTaken=%v wrong=%v trueKnown=%v", ctx.id, pc, spec.ReconPC, spec.FirstTaken, ctx.wrongPath, trueKnown)
+	if c.dbgRing != nil {
+		c.dbgLog("openCtx ctx%d pc=%d recon=%d firstTaken=%v wrong=%v trueKnown=%v", ctx.id, pc, spec.ReconPC, spec.FirstTaken, ctx.wrongPath, trueKnown)
+	}
 	if c.trace != nil {
 		c.trace.Emit(EvDualFetchOpen, pc, ctx.id, int64(spec.ReconPC))
 	}
@@ -244,7 +265,9 @@ func (c *Core) fetchCtxSlot() (consumed, stop bool) {
 	}
 
 	pc := c.ctxNext
-	c.dbgLog("ctxfetch ctx%d pc=%d phase=%d walkTaken=%v", ctx.id, pc, c.ctxPhase, c.ctxWalkTaken)
+	if c.dbgRing != nil {
+		c.dbgLog("ctxfetch ctx%d pc=%d phase=%d walkTaken=%v", ctx.id, pc, c.ctxPhase, c.ctxWalkTaken)
+	}
 	if pc < 0 || pc >= len(c.prog) || c.prog[pc].Op == isa.Halt {
 		c.divergeCtx(ctx, pc)
 		return false, false
@@ -292,7 +315,7 @@ func (c *Core) fetchCtxSlot() (consumed, stop bool) {
 
 	ctx.body++
 	c.pushFetch(fi)
-	c.emitFetchEvent(&fi, takenDir, inst.Target)
+	c.emitFetchEvent(fi, takenDir, inst.Target)
 
 	if ctx.body > ctx.spec.MaxBody {
 		c.divergeCtx(ctx, next)
@@ -315,7 +338,9 @@ func (c *Core) closeCtx(ctx *ctxState) {
 	c.ctx = nil
 	c.ctxPhase = 0
 	c.fetchPC = ctx.spec.ReconPC
-	c.dbgLog("closeCtx ctx%d fetchPC=%d oracle=%d", ctx.id, c.fetchPC, c.oracle.PC)
+	if c.dbgRing != nil {
+		c.dbgLog("closeCtx ctx%d fetchPC=%d oracle=%d", ctx.id, c.fetchPC, c.oracle.PC)
+	}
 	if c.trace != nil {
 		c.trace.Emit(EvReconverge, ctx.branchPC, ctx.id, int64(ctx.spec.ReconPC))
 	}
@@ -327,7 +352,9 @@ func (c *Core) closeCtx(ctx *ctxState) {
 func (c *Core) divergeCtx(ctx *ctxState, resumePC int) {
 	ctx.diverged = true
 	ctx.closed = true // the stalled branch may now schedule (divergence identifier)
-	c.dbgLog("divergeCtx ctx%d resume=%d", ctx.id, resumePC)
+	if c.dbgRing != nil {
+		c.dbgLog("divergeCtx ctx%d resume=%d", ctx.id, resumePC)
+	}
 	if c.trace != nil {
 		c.trace.Emit(EvDiverge, ctx.branchPC, ctx.id, int64(resumePC))
 	}
@@ -338,18 +365,21 @@ func (c *Core) divergeCtx(ctx *ctxState, resumePC int) {
 		c.fetchParked = true
 	}
 	if !ctx.wrongPath {
-		c.dbgLog("divergeCtx ctx%d sets wrongTok", ctx.id)
+		if c.dbgRing != nil {
+			c.dbgLog("divergeCtx ctx%d sets wrongTok", ctx.id)
+		}
 		c.onWrongPath = true
 		c.wrongTok = ctx.tok
 		c.dbgWrongPC, c.dbgWrongCyc, c.dbgWrongWhy = ctx.branchPC, c.cycle, "divergence"
 	}
 }
 
-func (c *Core) pushFetch(fi fetchedInst) {
+// pushFetch commits the ring slot reserved by newFetched.
+func (c *Core) pushFetch(fi *fetchedInst) {
 	if c.pipe != nil {
 		c.pipe.fetchSlots++
 	}
-	c.fetchQ = append(c.fetchQ, fi)
+	c.fqCommit()
 }
 
 // emitFetchEvent feeds the believed-correct-path fetch stream to the

@@ -29,26 +29,30 @@ func (c *Core) issueStage() {
 	}
 
 	keep := c.iq[:0]
-	for _, seq := range c.iq {
-		e := c.rob.at(seq)
-		if e == nil {
-			continue // squashed
+	for _, e := range c.iq {
+		// Scoreboard fast path: still waiting on the same unready source.
+		if w := e.waitPhys; w >= 0 {
+			if !c.prf[w].ready {
+				keep = append(keep, e)
+				continue
+			}
+			e.waitPhys = -1
 		}
 		if issued >= c.cfg.IssueWidth ||
 			(e.isLoad && loadsIssued >= maxLoads) ||
 			(e.isStore && storesIssued >= maxStores) {
-			keep = append(keep, seq)
+			keep = append(keep, e)
 			continue
 		}
 		lat, ok := c.tryIssue(e)
 		if !ok {
-			keep = append(keep, seq)
+			keep = append(keep, e)
 			continue
 		}
 		e.issued = true
 		e.inIQ = false
-		e.doneCycle = c.cycle + int64(lat)
-		c.completing[e.doneCycle] = append(c.completing[e.doneCycle], seq)
+		c.scheduleCompletion(e, lat)
+		c.progress = true
 		issued++
 		if c.pipe != nil {
 			c.pipe.issueSlots++
@@ -90,7 +94,20 @@ func (c *Core) tryIssue(e *robEntry) (lat int, ok bool) {
 		}
 		return c.tryIssueNormal(e)
 	default:
-		return c.tryIssueNormal(e)
+		lat, ok = c.tryIssueNormal(e)
+		if !ok {
+			// Cache the first unready source so the issue scan can skip
+			// this entry cheaply until its producer completes. A ready-srcs
+			// failure (load blocked on an older store) leaves no hint and
+			// is re-attempted every cycle, as before.
+			for i := 0; i < e.nsrc; i++ {
+				if !c.prf[e.src[i]].ready {
+					e.waitPhys = int32(e.src[i])
+					break
+				}
+			}
+		}
+		return lat, ok
 	}
 }
 
@@ -146,6 +163,9 @@ func (c *Core) tryIssueStallBody(e *robEntry) (int, bool) {
 	ctx := e.ctx
 	if !ctx.branchDone {
 		ctx.bodyStalls++
+		// Record the increment so a quiescent-cycle skip can replay it
+		// once per skipped cycle (see skipToNextEvent).
+		c.stallCtxScratch = append(c.stallCtxScratch, ctx)
 		return 0, false
 	}
 	onFalse := e.pathTaken != ctx.branchTaken
@@ -208,7 +228,7 @@ func (c *Core) tryIssueLoad(e *robEntry) (int, bool) {
 	a, _ := c.srcVals(e)
 	addr := a + e.inst.Imm
 	var match *robEntry
-	for _, sseq := range c.stores {
+	for _, sseq := range c.stores.live() {
 		if sseq >= e.seq {
 			break
 		}

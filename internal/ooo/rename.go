@@ -12,19 +12,25 @@ import (
 func (c *Core) renameStage() {
 	budget := c.cfg.AllocWidth
 	for budget > 0 {
-		if len(c.pendingSelects) > 0 {
-			if !c.allocSelect(&c.pendingSelects[0]) {
+		if c.selHead < len(c.pendingSelects) {
+			if !c.allocSelect(&c.pendingSelects[c.selHead]) {
 				c.s.allocStallSlots += int64(budget)
+				c.stallSlotsThisCycle += int64(budget)
 				return
 			}
-			c.pendingSelects = c.pendingSelects[1:]
+			c.selHead++
+			if c.selHead == len(c.pendingSelects) {
+				c.pendingSelects = c.pendingSelects[:0]
+				c.selHead = 0
+			}
+			c.progress = true
 			budget--
 			continue
 		}
-		if len(c.fetchQ) == 0 {
+		if c.fqLen == 0 {
 			return
 		}
-		fi := &c.fetchQ[0]
+		fi := c.fqFront()
 		if fi.readyCycle > c.cycle {
 			return
 		}
@@ -33,14 +39,17 @@ func (c *Core) renameStage() {
 		if cl := fi.ctxClose; cl != nil && cl.spec.Eager && !cl.selectsBuilt && !cl.diverged {
 			cl.selectsBuilt = true
 			c.buildSelects(cl)
+			c.progress = true
 			continue
 		}
 		if !c.resourcesAvailable(fi) {
 			c.s.allocStallSlots += int64(budget)
+			c.stallSlotsThisCycle += int64(budget)
 			return
 		}
 		c.renameOne(fi)
-		c.fetchQ = c.fetchQ[1:]
+		c.fqPopFront()
+		c.progress = true
 		budget--
 	}
 }
@@ -56,10 +65,10 @@ func (c *Core) resourcesAvailable(fi *fetchedInst) bool {
 	if needsIQ && len(c.iq) >= c.cfg.IQSize {
 		return false
 	}
-	if op == isa.Load && len(c.loads) >= c.cfg.LQSize {
+	if op == isa.Load && c.loads.len() >= c.cfg.LQSize {
 		return false
 	}
-	if op == isa.Store && len(c.stores) >= c.cfg.SQSize {
+	if op == isa.Store && c.stores.len() >= c.cfg.SQSize {
 		return false
 	}
 	if fi.inst.HasDest() && len(c.freeList) == 0 {
@@ -85,7 +94,9 @@ func (c *Core) renameOne(fi *fetchedInst) {
 	e.ctx = fi.ctx
 	e.pathTaken = fi.pathTaken
 	e.wrongPath = fi.wrongPath
-	e.pred = fi.pred
+	if fi.hasPred {
+		e.pred = fi.pred
+	}
 	e.hasPred = fi.hasPred
 	e.predTaken = fi.predTaken
 	e.trueKnown = fi.trueKnown
@@ -133,17 +144,17 @@ func (c *Core) renameOne(fi *fetchedInst) {
 	switch fi.inst.Op {
 	case isa.Load:
 		e.isLoad = true
-		c.loads = append(c.loads, e.seq)
+		c.loads.push(e.seq)
 	case isa.Store:
 		e.isStore = true
-		c.stores = append(c.stores, e.seq)
+		c.stores.push(e.seq)
 	}
 
 	switch fi.inst.Op {
 	case isa.Nop, isa.Halt, isa.Jmp:
 		e.done = true
 	default:
-		c.iq = append(c.iq, e.seq)
+		c.iq = append(c.iq, e)
 		e.inIQ = true
 	}
 }
@@ -172,32 +183,27 @@ func (c *Core) buildSelects(ctx *ctxState) {
 		if ratT[r] == ctx.rat0[r] && ratN[r] == ctx.rat0[r] {
 			continue
 		}
-		frees := dedupPhys(ratT[r], ratN[r], ctx.rat0[r])
-		c.pendingSelects = append(c.pendingSelects, selectSpec{
-			ctx:   ctx,
-			log:   isa.Reg(r),
-			selT:  ratT[r],
-			selN:  ratN[r],
-			frees: frees,
-		})
-	}
-}
-
-func dedupPhys(ps ...int) []int {
-	var out []int
-	for _, p := range ps {
-		dup := false
-		for _, q := range out {
-			if q == p {
-				dup = true
-				break
+		ss := selectSpec{
+			ctx:  ctx,
+			log:  isa.Reg(r),
+			selT: ratT[r],
+			selN: ratN[r],
+		}
+		for _, p := range [maxFreeOnRetire]int{ratT[r], ratN[r], ctx.rat0[r]} {
+			dup := false
+			for i := 0; i < int(ss.nFree); i++ {
+				if int(ss.frees[i]) == p {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				ss.frees[ss.nFree] = int32(p)
+				ss.nFree++
 			}
 		}
-		if !dup {
-			out = append(out, p)
-		}
+		c.pendingSelects = append(c.pendingSelects, ss)
 	}
-	return out
 }
 
 // allocSelect allocates one pending select micro-op; it returns false when
@@ -215,11 +221,12 @@ func (c *Core) allocSelect(ss *selectSpec) bool {
 	e.selN = ss.selN
 	e.selLog = ss.log
 	e.freeOnRetire = ss.frees
+	e.nFree = ss.nFree
 	p := c.popFree()
 	e.dest = p
 	c.prf[p] = prfEntry{}
 	c.rat[ss.log] = p
-	c.iq = append(c.iq, e.seq)
+	c.iq = append(c.iq, e)
 	e.inIQ = true
 	c.s.allocations++
 	c.s.selectUops++

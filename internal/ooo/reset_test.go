@@ -1,0 +1,94 @@
+package ooo
+
+import (
+	"reflect"
+	"testing"
+	"unsafe"
+)
+
+// settable makes an (addressable) unexported struct field writable via
+// reflection. Test-only; the production code never does this.
+func settable(f reflect.Value) reflect.Value {
+	return reflect.NewAt(f.Type(), unsafe.Pointer(f.UnsafeAddr())).Elem()
+}
+
+// fillGarbage writes a non-zero value of the appropriate kind into v,
+// recursing through arrays and structs. Pointers are set non-nil (zero
+// pointee); slices get one garbage element.
+func fillGarbage(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(0x55)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		v.SetUint(0x55)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(1.5)
+	case reflect.String:
+		v.SetString("garbage")
+	case reflect.Ptr:
+		v.Set(reflect.New(v.Type().Elem()))
+	case reflect.Slice:
+		s := reflect.MakeSlice(v.Type(), 1, 1)
+		fillGarbage(settable(s.Index(0)))
+		v.Set(s)
+	case reflect.Map:
+		v.Set(reflect.MakeMap(v.Type()))
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			fillGarbage(settable(v.Index(i)))
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			fillGarbage(settable(v.Field(i)))
+		}
+	default:
+		panic("fillGarbage: unhandled kind " + v.Kind().String())
+	}
+}
+
+// TestROBResetClearsAllFields enforces the exhaustiveness of the
+// field-wise robEntry.reset: every field of a garbage-filled entry must
+// match a freshly reset zero entry afterwards. Two fields are
+// stale-by-design and exempt — pred (guarded by hasPred) and ratCkpt
+// (guarded by hasCkpt); their guards ARE checked. Adding a robEntry field
+// without extending reset (or the exemption list, with a guard) fails
+// here rather than leaking state across ring-slot reuse.
+func TestROBResetClearsAllFields(t *testing.T) {
+	staleByDesign := map[string]bool{"pred": true, "ratCkpt": true}
+
+	var dirty robEntry
+	fillGarbage(settable(reflect.ValueOf(&dirty).Elem()))
+	dirty.reset(5, 7)
+
+	var clean robEntry
+	clean.reset(5, 7)
+	// The exempt fields keep whatever the slot held; mirror them so the
+	// comparison below checks everything else.
+	clean.pred = dirty.pred
+	clean.ratCkpt = dirty.ratCkpt
+
+	if dirty.hasPred || dirty.hasCkpt {
+		t.Fatalf("reset left a stale-field guard set: hasPred=%v hasCkpt=%v",
+			dirty.hasPred, dirty.hasCkpt)
+	}
+
+	dv := reflect.ValueOf(&dirty).Elem()
+	cv := reflect.ValueOf(&clean).Elem()
+	typ := dv.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		got := settable(dv.Field(i)).Interface()
+		want := settable(cv.Field(i)).Interface()
+		if !reflect.DeepEqual(got, want) {
+			if staleByDesign[name] {
+				t.Errorf("stale-by-design field %q diverged from its mirror — test bug", name)
+				continue
+			}
+			t.Errorf("robEntry.reset does not clear field %q: got %#v, want %#v "+
+				"(add it to reset, or to the stale-by-design exemptions with a guard)",
+				name, got, want)
+		}
+	}
+}

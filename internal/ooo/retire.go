@@ -29,11 +29,11 @@ func (c *Core) retireStage() bool {
 			c.commitMem.Store(e.effAddr, e.storeVal)
 			c.hier.StoreCommit(e.effAddr)
 		}
-		if e.isLoad && len(c.loads) > 0 && c.loads[0] == e.seq {
-			c.loads = c.loads[1:]
+		if e.isLoad {
+			c.loads.popFrontIf(e.seq)
 		}
-		if e.isStore && len(c.stores) > 0 && c.stores[0] == e.seq {
-			c.stores = c.stores[1:]
+		if e.isStore {
+			c.stores.popFrontIf(e.seq)
 		}
 
 		if e.inst != nil {
@@ -63,10 +63,13 @@ func (c *Core) retireStage() bool {
 		if e.dest >= 0 && e.prevPhys >= 0 && !e.skipPrevFree {
 			c.freeList = append(c.freeList, e.prevPhys)
 		}
-		c.freeList = append(c.freeList, e.freeOnRetire...)
+		for i := 0; i < int(e.nFree); i++ {
+			c.freeList = append(c.freeList, int(e.freeOnRetire[i]))
+		}
 
 		halt := e.inst != nil && e.inst.Op == isa.Halt
 		c.rob.pop()
+		c.progress = true
 		if c.pipe != nil {
 			c.pipe.retireSlots++
 		}
@@ -114,7 +117,12 @@ func (c *Core) retireBranch(e *robEntry) {
 		// Drop this context's oracle snapshot (divergence already removed
 		// it) and commit the oracle overlay when no contexts remain open.
 		if len(c.snapshots) > 0 && c.snapshots[0].ctx == ctx {
-			c.snapshots = c.snapshots[1:]
+			// Shift down rather than reslicing the base forward: snapshots[1:]
+			// would strand capacity behind the new base and force the next
+			// append to reallocate once per predicated instance.
+			n := copy(c.snapshots, c.snapshots[1:])
+			c.snapshots[n] = oracleSnap{}
+			c.snapshots = c.snapshots[:n]
 			if len(c.snapshots) == 0 {
 				c.oracleMem.Commit()
 			}

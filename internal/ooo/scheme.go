@@ -97,8 +97,8 @@ type ctxState struct {
 	branchPC  int
 	branchSeq int64 // ROB seq of the predicated branch (-1 until renamed)
 
-	wrongPath bool        // context opened on the wrong path (no oracle backing)
-	tok       *flushToken // identifies this context as a wrong-fetch cause
+	wrongPath bool       // context opened on the wrong path (no oracle backing)
+	tok       flushToken // identifies this context as a wrong-fetch cause
 
 	// Fetch-side progress.
 	closed   bool // reconvergence reached at fetch

@@ -221,8 +221,8 @@ func TestFetchQueueBounded(t *testing.T) {
 		if c.stepCycle() {
 			break
 		}
-		if len(c.fetchQ) > c.fetchQCap {
-			t.Fatalf("fetch queue %d exceeds cap %d at cycle %d", len(c.fetchQ), c.fetchQCap, c.cycle)
+		if c.fqLen > c.fetchQCap {
+			t.Fatalf("fetch queue %d exceeds cap %d at cycle %d", c.fqLen, c.fetchQCap, c.cycle)
 		}
 		if c.rob.occupancy() > c.cfg.ROBSize {
 			t.Fatalf("ROB over capacity")
