@@ -1,16 +1,20 @@
 // Command acbd is the simulation service daemon and its client.
 //
-// Serve mode runs the scheduler, content-addressed result store and HTTP
-// API from internal/service:
+// Serve mode runs one node. -role picks which kind:
 //
 //	acbd serve -addr :8315 -store-dir /var/lib/acbd -workers 2
+//	acbd serve -role worker -node w1 -peers w1=http://h1:8315,w2=http://h2:8315
+//	acbd serve -role coordinator -node coord -peers w1=http://h1:8315,w2=http://h2:8315
 //
-// Client mode submits one experiment to a running daemon and (with
-// -wait) polls it to completion and prints the result table:
+// A worker is a normal daemon whose result store peer-fetches by key
+// from the shard owning it; a coordinator fronts the fleet with the
+// same job API plus batch submission, streaming results and aggregated
+// metrics. Client mode submits one experiment to a running daemon or
+// coordinator and (with -wait) polls it to completion:
 //
 //	acbd submit -addr http://localhost:8315 -experiment fig6 -workloads lammps,gobmk -wait -format ascii
 //
-// See docs/SERVICE.md for the API.
+// See docs/SERVICE.md and docs/CLUSTER.md for the API.
 package main
 
 import (
@@ -21,14 +25,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"acb/internal/cluster"
 	"acb/internal/faultinject"
 	"acb/internal/service"
 	"acb/internal/stats"
@@ -61,16 +68,44 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  acbd serve  [-addr :8315] [-store-dir DIR] [-store-cap N] [-journal FILE] [-queue N] [-workers N] [-jobs N]
+  acbd serve  [-role single|worker|coordinator] [-node NAME] [-peers n1=url,n2=url,...]
+              [-addr :8315] [-store-dir DIR] [-store-cap N] [-journal FILE] [-queue N] [-workers N] [-jobs N]
               [-timeout D] [-max-timeout D] [-retries N] [-drain-timeout D] [-debug-addr :6060]
+              [-probe-interval D] [-poll-interval D] [-dead-after N]
               [-fault-spec SPEC] [-fault-seed N]
-  acbd submit [-addr URL] -experiment NAME [-workloads a,b] [-budget N] [-config NAME] [-timeout D] [-wait] [-format json|csv|ascii]
+  acbd submit [-addr URL] -experiment NAME [-workloads a,b] [-budget N] [-config NAME] [-timeout D]
+              [-wait] [-format json|csv|ascii] [-submit-retries N]
 `)
+}
+
+// parsePeers parses "name=url,name=url" into ordered members.
+func parsePeers(spec string) ([]cluster.Member, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, errors.New("empty -peers")
+	}
+	var members []cluster.Member
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(spec, ",") {
+		name, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		name, url = strings.TrimSpace(name), strings.TrimRight(strings.TrimSpace(url), "/")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("peer %q: want name=url", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate peer name %q", name)
+		}
+		seen[name] = true
+		members = append(members, cluster.Member{Name: name, URL: url})
+	}
+	return members, nil
 }
 
 func serve(args []string) error {
 	fs := flag.NewFlagSet("acbd serve", flag.ExitOnError)
 	var (
+		role       = fs.String("role", "single", "node role: single | worker | coordinator")
+		node       = fs.String("node", "", "node identity, stamped on every metrics series and used as the ring/membership name (default: hostname)")
+		peersSpec  = fs.String("peers", "", "fleet membership as name=url,...: for -role worker the full fleet including this node; for -role coordinator the worker shards")
 		addr       = fs.String("addr", ":8315", "HTTP listen address")
 		storeDir   = fs.String("store-dir", "", "directory for the on-disk result tier (empty = memory only)")
 		storeCap   = fs.Int("store-cap", 256, "tables held in the in-memory LRU tier")
@@ -83,16 +118,71 @@ func serve(args []string) error {
 		retries    = fs.Int("retries", 3, "max runs per job (first run + retries of transient failures)")
 		drain      = fs.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain budget before cancelling running jobs")
 		debug      = fs.String("debug-addr", "", "listen address for net/http/pprof (empty = disabled; keep it off the service port)")
-		faultSpec  = fs.String("fault-spec", "", "fault-injection rules, e.g. 'store.persist:error,prob=0.2;worker:panic,nth=5' (chaos testing only)")
+		probeIvl   = fs.Duration("probe-interval", 500*time.Millisecond, "coordinator: worker heartbeat period")
+		pollIvl    = fs.Duration("poll-interval", 250*time.Millisecond, "coordinator: job reconcile/steal period")
+		deadAfter  = fs.Int("dead-after", 3, "coordinator: consecutive failed probes before a worker is declared dead")
+		faultSpec  = fs.String("fault-spec", "", "fault-injection rules, e.g. 'store.persist:error,prob=0.2;rpc.w2:error,nth=3,after=20,limit=10' (chaos testing only)")
 		faultSeed  = fs.Int64("fault-seed", 1, "seed for probabilistic fault injection (reproducible chaos)")
 		verbose    = fs.Bool("v", false, "per-job progress on stderr")
 	)
 	fs.Parse(args)
+	if *node == "" {
+		if hn, err := os.Hostname(); err == nil && hn != "" {
+			*node = hn
+		} else {
+			*node = "acbd"
+		}
+	}
+	logf := func(string, ...interface{}) {}
+	if *verbose {
+		logf = func(format string, a ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+	var inj *faultinject.Injector
+	if *faultSpec != "" {
+		var err error
+		if inj, err = faultinject.Parse(*faultSpec, *faultSeed); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "acbd: CHAOS MODE: injecting faults: %s (seed %d)\n", *faultSpec, *faultSeed)
+	}
 
 	store, err := service.NewStore(*storeCap, *storeDir)
 	if err != nil {
 		return err
 	}
+	if inj != nil {
+		store.SetFaults(inj)
+	}
+
+	if *role == "coordinator" {
+		members, err := parsePeers(*peersSpec)
+		if err != nil {
+			return fmt.Errorf("coordinator: %w", err)
+		}
+		ccfg := cluster.Config{
+			Node:          *node,
+			Workers:       members,
+			QueueDepth:    *queue,
+			ProbeInterval: *probeIvl,
+			PollInterval:  *pollIvl,
+			DeadAfter:     *deadAfter,
+			Logf:          logf,
+		}
+		if inj != nil {
+			ccfg.Faults = inj
+		}
+		coord, err := cluster.New(ccfg, store)
+		if err != nil {
+			return err
+		}
+		coord.Start()
+		fmt.Fprintf(os.Stderr, "acbd: coordinator %s over %d workers\n", *node, len(members))
+		return listenAndDrain(*addr, *debug, *drain, cluster.NewServer(coord).Handler(),
+			coord.Shutdown, fmt.Sprintf("store-dir=%q workers=%d queue=%d", *storeDir, len(members), *queue))
+	}
+
 	cfg := service.SchedulerConfig{
 		QueueDepth:     *queue,
 		Workers:        *workers,
@@ -100,20 +190,10 @@ func serve(args []string) error {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxAttempts:    *retries,
+		Logf:           logf,
 	}
-	if *verbose {
-		cfg.Logf = func(format string, a ...interface{}) {
-			fmt.Fprintf(os.Stderr, format+"\n", a...)
-		}
-	}
-	if *faultSpec != "" {
-		inj, err := faultinject.Parse(*faultSpec, *faultSeed)
-		if err != nil {
-			return err
-		}
+	if inj != nil {
 		cfg.Faults = inj
-		store.SetFaults(inj)
-		fmt.Fprintf(os.Stderr, "acbd: CHAOS MODE: injecting faults: %s (seed %d)\n", *faultSpec, *faultSeed)
 	}
 	if *journalPth != "" {
 		journal, replay, err := service.OpenJournal(*journalPth)
@@ -127,17 +207,62 @@ func serve(args []string) error {
 				*journalPth, len(replay))
 		}
 	}
+
+	switch *role {
+	case "single":
+		if *peersSpec != "" {
+			return errors.New("-peers requires -role worker or coordinator")
+		}
+	case "worker":
+		// The peer result cache: this shard fetches keys it misses from
+		// the owning shard. The fleet must include this node so the ring
+		// places this shard's own keys here (a local miss on an owned key
+		// means "not computed yet", never a peer fetch).
+		members, err := parsePeers(*peersSpec)
+		if err != nil {
+			return fmt.Errorf("worker: %w", err)
+		}
+		mm := make(map[string]string, len(members))
+		for _, m := range members {
+			mm[m.Name] = m.URL
+		}
+		if _, ok := mm[*node]; !ok {
+			return fmt.Errorf("worker: node %q not in -peers (the fleet must include this node)", *node)
+		}
+		store.SetPeers(cluster.PeerFetcher(*node, mm, cluster.NewClient(0, faultsOrNil(inj))), 0)
+		fmt.Fprintf(os.Stderr, "acbd: worker %s in a %d-shard fleet\n", *node, len(members))
+	default:
+		return fmt.Errorf("unknown -role %q (want single, worker or coordinator)", *role)
+	}
+
 	sched := service.NewScheduler(cfg, store)
-	srv := &http.Server{Addr: *addr, Handler: service.NewServer(sched).Handler()}
+	ssrv := service.NewServer(sched)
+	ssrv.SetNode(*node)
+	return listenAndDrain(*addr, *debug, *drain, ssrv.Handler(), sched.Shutdown,
+		fmt.Sprintf("store-dir=%q workers=%d queue=%d", *storeDir, *workers, *queue))
+}
+
+// faultsOrNil avoids wrapping a nil *Injector in a non-nil interface.
+func faultsOrNil(inj *faultinject.Injector) service.FaultPoints {
+	if inj == nil {
+		return nil
+	}
+	return inj
+}
+
+// listenAndDrain serves handler on addr until SIGINT/SIGTERM, then
+// stops accepting HTTP and drains via shutdown within the drain budget.
+func listenAndDrain(addr, debug string, drain time.Duration, handler http.Handler, shutdown func(context.Context) error, banner string) error {
+	srv := &http.Server{Addr: addr, Handler: handler}
 
 	// pprof rides on its own listener so the profiling surface never
 	// shares a port with the public API. The net/http/pprof import
 	// registers onto http.DefaultServeMux, which nothing else uses.
 	var dbgSrv *http.Server
-	if *debug != "" {
-		dbgSrv = &http.Server{Addr: *debug, Handler: http.DefaultServeMux}
+	if debug != "" {
+		dbgSrv = &http.Server{Addr: debug, Handler: http.DefaultServeMux}
 		go func() {
-			fmt.Fprintf(os.Stderr, "acbd: pprof on %s\n", *debug)
+			fmt.Fprintf(os.Stderr, "acbd: pprof on %s\n", debug)
 			if err := dbgSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintf(os.Stderr, "acbd: pprof server: %v\n", err)
 			}
@@ -146,8 +271,7 @@ func serve(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "acbd: listening on %s (store-dir=%q workers=%d queue=%d)\n",
-			*addr, *storeDir, *workers, *queue)
+		fmt.Fprintf(os.Stderr, "acbd: listening on %s (%s)\n", addr, banner)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -159,24 +283,82 @@ func serve(args []string) error {
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "acbd: %v: draining (timeout %s)\n", sig, *drain)
+		fmt.Fprintf(os.Stderr, "acbd: %v: draining (timeout %s)\n", sig, drain)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
-	// Stop accepting HTTP first, then drain the scheduler; the
-	// write-through store has nothing left to persist afterwards.
+	// Stop accepting HTTP first, then drain the scheduler (or the
+	// coordinator's in-flight fleet work); the write-through store has
+	// nothing left to persist afterwards.
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "acbd: http shutdown: %v\n", err)
 	}
 	if dbgSrv != nil {
 		_ = dbgSrv.Shutdown(ctx)
 	}
-	if err := sched.Shutdown(ctx); err != nil {
+	if err := shutdown(ctx); err != nil {
 		return fmt.Errorf("drain: %w (running jobs were cancelled)", err)
 	}
 	fmt.Fprintln(os.Stderr, "acbd: drained cleanly")
 	return nil
+}
+
+// retryPolicy retries transiently-refused submissions — 429 (queue
+// full) and 503 (draining/not ready) — honoring the server's
+// Retry-After hint when it parses and falling back to equal-jitter
+// exponential backoff so a herd of refused clients spreads back out.
+type retryPolicy struct {
+	tries int           // total attempts, including the first
+	base  time.Duration // backoff for the first retry
+	max   time.Duration // backoff ceiling
+	rng   *rand.Rand
+	sleep func(time.Duration)
+}
+
+func defaultRetryPolicy(tries int) *retryPolicy {
+	return &retryPolicy{tries: tries, base: 500 * time.Millisecond, max: 30 * time.Second,
+		rng: rand.New(rand.NewSource(time.Now().UnixNano())), sleep: time.Sleep}
+}
+
+// post issues the request, retrying per the policy. The returned
+// response is the last one received with its body unread; a final
+// refusal after the budget is exhausted comes back as-is for the
+// caller to surface.
+func (p *retryPolicy) post(client *http.Client, url, contentType string, body []byte) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, contentType, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+			return resp, nil
+		}
+		if attempt+1 >= p.tries {
+			return resp, nil
+		}
+		d := p.delay(attempt, resp.Header.Get("Retry-After"))
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		fmt.Fprintf(os.Stderr, "acbd: %s; retrying in %s (attempt %d/%d)\n",
+			resp.Status, d.Round(time.Millisecond), attempt+2, p.tries)
+		p.sleep(d)
+	}
+}
+
+// delay picks the wait before the next attempt: the Retry-After hint
+// plus a little jitter when the server sent one, equal-jitter
+// exponential backoff otherwise.
+func (p *retryPolicy) delay(attempt int, retryAfter string) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+		return time.Duration(secs)*time.Second + time.Duration(p.rng.Int63n(int64(p.base/2)+1))
+	}
+	d := p.base << uint(attempt)
+	if d > p.max || d <= 0 {
+		d = p.max
+	}
+	half := d / 2
+	return half + time.Duration(p.rng.Int63n(int64(half)+1))
 }
 
 func submit(args []string) error {
@@ -191,10 +373,14 @@ func submit(args []string) error {
 		wait      = fs.Bool("wait", false, "poll the job to completion and print the result table")
 		format    = fs.String("format", "json", "result rendering with -wait: json | csv | ascii")
 		interval  = fs.Duration("poll-interval", 250*time.Millisecond, "poll period with -wait")
+		retries   = fs.Int("submit-retries", 5, "total submission attempts when the server answers 429/503")
 	)
 	fs.Parse(args)
 	if *exp == "" {
 		return errors.New("submit: -experiment is required")
+	}
+	if *retries < 1 {
+		*retries = 1
 	}
 
 	req := service.Request{Experiment: *exp, Budget: *budget, Config: *cfgName,
@@ -209,7 +395,7 @@ func submit(args []string) error {
 		return err
 	}
 	base := strings.TrimRight(*addr, "/")
-	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	resp, err := defaultRetryPolicy(*retries).post(http.DefaultClient, base+"/v1/jobs", "application/json", body)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testPolicy returns a deterministic policy that records sleeps
+// instead of performing them.
+func testPolicy(tries int) (*retryPolicy, *[]time.Duration) {
+	var slept []time.Duration
+	p := &retryPolicy{
+		tries: tries,
+		base:  100 * time.Millisecond,
+		max:   time.Second,
+		rng:   rand.New(rand.NewSource(1)),
+		sleep: func(d time.Duration) { slept = append(slept, d) },
+	}
+	return p, &slept
+}
+
+// refuseThenAccept answers n refusals with the given status (and
+// optional Retry-After seconds) before accepting with 201.
+func refuseThenAccept(n int32, status int, retryAfter string) (*httptest.Server, *int32) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) <= n {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(status)
+			fmt.Fprint(w, `{"error":"busy"}`)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprint(w, `{"id":"j1","state":"queued"}`)
+	}))
+	return ts, &calls
+}
+
+func TestSubmitRetryHonorsRetryAfter(t *testing.T) {
+	ts, calls := refuseThenAccept(2, http.StatusTooManyRequests, "2")
+	defer ts.Close()
+	p, slept := testPolicy(5)
+
+	resp, err := p.post(ts.Client(), ts.URL, "application/json", []byte("{}"))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d, want 201", resp.StatusCode)
+	}
+	if *calls != 3 {
+		t.Fatalf("server saw %d requests, want 3", *calls)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+	for i, d := range *slept {
+		// Retry-After: 2 means at least 2s, plus jitter bounded by base/2.
+		if d < 2*time.Second || d > 2*time.Second+p.base/2 {
+			t.Errorf("sleep %d = %s, want within [2s, 2s+%s]", i, d, p.base/2)
+		}
+	}
+}
+
+func TestSubmitRetryBackoffWithoutHint(t *testing.T) {
+	ts, calls := refuseThenAccept(3, http.StatusServiceUnavailable, "")
+	defer ts.Close()
+	p, slept := testPolicy(5)
+
+	resp, err := p.post(ts.Client(), ts.URL, "application/json", []byte("{}"))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d, want 201", resp.StatusCode)
+	}
+	if *calls != 4 {
+		t.Fatalf("server saw %d requests, want 4", *calls)
+	}
+	// Equal-jitter exponential: attempt k waits within [base<<k/2, base<<k].
+	for i, d := range *slept {
+		full := p.base << uint(i)
+		if d < full/2 || d > full {
+			t.Errorf("sleep %d = %s, want within [%s, %s]", i, d, full/2, full)
+		}
+	}
+}
+
+func TestSubmitRetryExhaustionReturnsRefusal(t *testing.T) {
+	ts, calls := refuseThenAccept(100, http.StatusTooManyRequests, "0")
+	defer ts.Close()
+	p, slept := testPolicy(3)
+
+	resp, err := p.post(ts.Client(), ts.URL, "application/json", []byte("{}"))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want the final 429 surfaced", resp.StatusCode)
+	}
+	if *calls != 3 {
+		t.Fatalf("server saw %d requests, want exactly the %d budgeted", *calls, p.tries)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+}
+
+func TestSubmitNoRetryOnHardError(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"unknown experiment"}`)
+	}))
+	defer ts.Close()
+	p, slept := testPolicy(5)
+
+	resp, err := p.post(ts.Client(), ts.URL, "application/json", []byte("{}"))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 passed through", resp.StatusCode)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 || len(*slept) != 0 {
+		t.Fatalf("calls=%d slept=%d; 4xx other than 429 must not retry", got, len(*slept))
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	members, err := parsePeers("w1=http://h1:8315, w2=http://h2:8315/")
+	if err != nil {
+		t.Fatalf("parsePeers: %v", err)
+	}
+	if len(members) != 2 || members[0].Name != "w1" || members[1].URL != "http://h2:8315" {
+		t.Fatalf("parsePeers = %+v", members)
+	}
+	for _, bad := range []string{"", "w1", "w1=", "=http://x", "w1=a,w1=b"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"acb/internal/service"
+)
+
+// Client is the inter-node HTTP client every cluster RPC goes through.
+// Each request first fires the faultinject points "rpc" (whole fabric)
+// and "rpc.<node>" (one link), which is how chaos tests open network
+// partitions deterministically: a rule on rpc.w2 severs every call to
+// w2 without touching the process, and Clear (or a rule Limit) heals it.
+type Client struct {
+	http   *http.Client
+	faults service.FaultPoints
+}
+
+// NewClient returns a client with the given per-request timeout
+// (0 = 10s) and optional fault injector (nil in production).
+func NewClient(timeout time.Duration, faults service.FaultPoints) *Client {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &Client{
+		http:   &http.Client{Timeout: timeout},
+		faults: faults,
+	}
+}
+
+// statusError carries a non-2xx response so callers can branch on the
+// code (429 backpressure vs 404 unknown vs 5xx).
+type statusError struct {
+	code int
+	body string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("cluster: remote status %d: %s", e.code, e.body)
+}
+
+// StatusCode extracts the HTTP status from an inter-node RPC error
+// (0 when the error was transport-level, not a response).
+func StatusCode(err error) int {
+	if se, ok := err.(*statusError); ok {
+		return se.code
+	}
+	return 0
+}
+
+func (c *Client) fire(node string) error {
+	if c.faults == nil {
+		return nil
+	}
+	if err := c.faults.Fire("rpc"); err != nil {
+		return fmt.Errorf("cluster: rpc to %s: %w", node, err)
+	}
+	if err := c.faults.Fire("rpc." + node); err != nil {
+		return fmt.Errorf("cluster: rpc to %s: %w", node, err)
+	}
+	return nil
+}
+
+// do performs one RPC against a node: method + url, optional JSON body
+// in, optional JSON decode into out. Non-2xx responses become
+// *statusError with the response body's error message.
+func (c *Client) do(ctx context.Context, node, method, url string, in, out interface{}) error {
+	if err := c.fire(node); err != nil {
+		return err
+	}
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var ae struct {
+			Error string `json:"error"`
+		}
+		msg := string(b)
+		if json.Unmarshal(b, &ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+		return &statusError{code: resp.StatusCode, body: msg}
+	}
+	if out != nil {
+		return json.Unmarshal(b, out)
+	}
+	return nil
+}
+
+// getBytes performs a GET and returns the raw response body. A 404
+// returns (nil, nil): the peer authoritatively does not have it.
+func (c *Client) getBytes(ctx context.Context, node, url string) ([]byte, error) {
+	if err := c.fire(node); err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, &statusError{code: resp.StatusCode, body: string(b)}
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+}
+
+// PeerFetcher builds the service.PeerFetchFunc for a worker shard: on a
+// local store miss, ask the shard that owns the key (by the fleet-wide
+// ring) for its stored envelope via GET /v1/store/{key}. The owner
+// serving from local tiers only (never its own peer tier) is what makes
+// the recursion terminate: two shards can never chase each other for a
+// key neither owns.
+//
+// self is excluded — a key this shard owns that isn't in its local
+// store simply hasn't been computed yet, and asking anyone else would
+// invent a second owner. members maps node name → base URL and is the
+// static fleet (liveness doesn't matter here: a dead owner is just a
+// peer miss).
+func PeerFetcher(self string, members map[string]string, client *Client) service.PeerFetchFunc {
+	names := make([]string, 0, len(members))
+	for name := range members {
+		names = append(names, name)
+	}
+	ring := NewRing(0, names...)
+	return func(ctx context.Context, key string) ([]byte, error) {
+		owner, ok := ring.Owner(key)
+		if !ok || owner == self {
+			return nil, nil
+		}
+		base, ok := members[owner]
+		if !ok {
+			return nil, nil
+		}
+		return client.getBytes(ctx, owner, base+"/v1/store/"+key)
+	}
+}

@@ -1,0 +1,1065 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"acb/internal/experiments"
+	"acb/internal/service"
+	"acb/internal/stats"
+)
+
+// Member is one worker shard in the static fleet: a stable name (the
+// ring and the metrics node label key on it) and a base URL.
+type Member struct {
+	Name string
+	URL  string
+}
+
+// Config configures a Coordinator. Zero values take the defaults noted.
+type Config struct {
+	// Node is the coordinator's own identity for its metrics series.
+	Node string
+	// Workers is the static fleet. Liveness within it is probed; the set
+	// itself does not change at runtime.
+	Workers []Member
+
+	// QueueDepth bounds non-terminal cluster jobs; submissions beyond it
+	// fail fast with service.ErrQueueFull. Default 4096.
+	QueueDepth int
+	// RetainJobs bounds terminal job records kept for status queries.
+	// Default 1024.
+	RetainJobs int
+
+	// ProbeInterval is the heartbeat period (default 500ms);
+	// ProbeTimeout bounds one health probe (default 2s); DeadAfter is
+	// the consecutive probe failures that declare a worker dead
+	// (default 3).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	DeadAfter     int
+
+	// PollInterval is the job-reconcile period (default 250ms).
+	PollInterval time.Duration
+	// RPCTimeout bounds one job-control RPC (default 10s).
+	RPCTimeout time.Duration
+
+	// MaxAssigns bounds how many worker assignments one job may consume
+	// (initial dispatch + re-dispatch after worker death + steals)
+	// before the coordinator fails it. Default 6.
+	MaxAssigns int
+	// StealMargin is how many worker-queued jobs a straggler must hold
+	// before an idle worker steals one. Default 2.
+	StealMargin int
+	// VNodes is the ring's virtual-node count per worker (default 64).
+	VNodes int
+
+	// Faults wires the rpc / rpc.<node> partition points (nil = none).
+	Faults service.FaultPoints
+	// Logf receives operational logs (default: discard).
+	Logf func(format string, args ...interface{})
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4096
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 1024
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 3
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 250 * time.Millisecond
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 10 * time.Second
+	}
+	if cfg.MaxAssigns <= 0 {
+		cfg.MaxAssigns = 6
+	}
+	if cfg.StealMargin <= 0 {
+		cfg.StealMargin = 2
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+}
+
+// member is a fleet entry plus its probed liveness.
+type member struct {
+	name  string
+	url   string
+	alive bool
+	fails int
+}
+
+// cjob is one cluster job. All fields are guarded by the coordinator's
+// mutex except id/key/req, which are immutable after creation.
+type cjob struct {
+	id  string
+	key string
+	req service.Request
+
+	state    service.JobState
+	worker   string // current assignment ("" = unassigned)
+	remoteID string // job ID on that worker
+	assigns  int    // workers this job has been sent to
+	stolen   int    // reassignments via work stealing
+	cancel   bool   // client requested cancellation
+	cacheHit bool
+	// remoteDone marks a job the worker reports finished whose result
+	// the coordinator has not yet replicated. The job goes terminal only
+	// once the replica lands (done ⇒ result durable at the coordinator);
+	// if the worker dies first, the job reruns instead of going
+	// done-but-unfetchable.
+	remoteDone bool
+	fetchTries int
+	err        string
+	errKind    string
+	cpi        map[string]experiments.CPITotals
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	done     chan struct{}
+}
+
+// JobStatus is a cluster job snapshot: the single-node status shape
+// (so `acbd submit -wait` and every existing client work unchanged
+// against a coordinator) plus placement fields.
+type JobStatus struct {
+	service.JobStatus
+	Worker string `json:"worker,omitempty"`
+	Stolen int    `json:"stolen,omitempty"`
+}
+
+// Coordinator owns cluster state: fleet liveness, the live-member ring,
+// and every cluster job's placement. One background goroutine runs all
+// dispatch/reconcile/steal/probe transitions, so those never race each
+// other; client-facing methods only read or flag state under the mutex.
+type Coordinator struct {
+	cfg    Config
+	client *Client
+	store  *service.Store
+
+	counters *stats.Counters
+
+	mu       sync.Mutex
+	members  map[string]*member
+	ring     *Ring // live members only; rebuilt on liveness change
+	jobs     map[string]*cjob
+	byKey    map[string]*cjob // non-terminal jobs by result key (dedup)
+	order    []string
+	terminal int
+
+	// completedOn remembers which worker finished each key, so the
+	// results proxy asks the shard that actually has it first — the ring
+	// owner is wrong for stolen and death-rehashed jobs. Bounded FIFO.
+	completedOn  map[string]string
+	completedLog []string
+
+	nextID int64
+	closed bool
+	probed bool // first probe round done (readyz gate)
+
+	kick   chan struct{}
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+const completedOnCap = 8192
+
+// New builds a Coordinator over the given result store (the
+// coordinator's own cache tier for the results proxy; it may be
+// memory-only). Call Start to begin probing and dispatching.
+func New(cfg Config, store *service.Store) (*Coordinator, error) {
+	cfg.fillDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("cluster: coordinator needs at least one worker")
+	}
+	c := &Coordinator{
+		cfg:         cfg,
+		client:      NewClient(cfg.RPCTimeout, cfg.Faults),
+		store:       store,
+		counters:    stats.NewCounters(),
+		members:     make(map[string]*member),
+		jobs:        make(map[string]*cjob),
+		byKey:       make(map[string]*cjob),
+		completedOn: make(map[string]string),
+		kick:        make(chan struct{}, 1),
+		stopCh:      make(chan struct{}),
+	}
+	for _, m := range cfg.Workers {
+		if m.Name == "" || m.URL == "" {
+			return nil, fmt.Errorf("cluster: worker needs name and url, got %+v", m)
+		}
+		if _, dup := c.members[m.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate worker name %q", m.Name)
+		}
+		c.members[m.Name] = &member{name: m.Name, url: m.URL}
+	}
+	c.ring = NewRing(cfg.VNodes) // empty until the first probe round
+	// The coordinator's store fills from whichever worker has a key, so
+	// GET /v1/results/{key} works for any completed job, wherever it ran.
+	store.SetPeers(c.fetchEnvelope, cfg.RPCTimeout)
+	return c, nil
+}
+
+// Start launches the control loop.
+func (c *Coordinator) Start() {
+	c.wg.Add(1)
+	go c.run()
+}
+
+// Shutdown stops the control loop. Worker daemons are separate
+// processes and keep draining on their own; in-flight cluster job
+// records freeze at their last observed state.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.stopCh)
+	c.mu.Unlock()
+
+	doneCh := make(chan struct{})
+	go func() { c.wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Store returns the coordinator's result store.
+func (c *Coordinator) Store() *service.Store { return c.store }
+
+// Counters returns the cluster event counters.
+func (c *Coordinator) Counters() *stats.Counters { return c.counters }
+
+// Ready reports whether the coordinator can accept work: the first
+// probe round has completed and at least one worker is alive.
+func (c *Coordinator) Ready() (bool, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case c.closed:
+		return false, "shutting down"
+	case !c.probed:
+		return false, "first probe round pending"
+	case c.aliveLocked() == 0:
+		return false, "no live workers"
+	}
+	return true, ""
+}
+
+func (c *Coordinator) aliveLocked() int {
+	n := 0
+	for _, m := range c.members {
+		if m.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// MemberStatus is one fleet entry's probed state, for GET /v1/cluster.
+type MemberStatus struct {
+	Name  string `json:"name"`
+	URL   string `json:"url"`
+	Alive bool   `json:"alive"`
+	Jobs  int    `json:"jobs"` // non-terminal cluster jobs assigned here
+}
+
+// Members snapshots the fleet, sorted by name.
+func (c *Coordinator) Members() []MemberStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	assigned := make(map[string]int)
+	for _, job := range c.jobs {
+		if !terminalState(job.state) && job.worker != "" {
+			assigned[job.worker]++
+		}
+	}
+	out := make([]MemberStatus, 0, len(c.members))
+	for _, m := range c.members {
+		out = append(out, MemberStatus{Name: m.name, URL: m.url, Alive: m.alive, Jobs: assigned[m.name]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func terminalState(st service.JobState) bool {
+	return st == service.JobDone || st == service.JobFailed || st == service.JobCancelled
+}
+
+// Submit schedules req on the cluster. Same contract as the single-node
+// scheduler: (status, created, error), dedup by content-address against
+// in-flight jobs, immediate terminal job on a coordinator-cache hit,
+// service.ErrQueueFull past QueueDepth.
+//
+// The cache probe is local-only (memory + disk): fresh work must not
+// pay a fleet-wide round of peer RPCs per submission. A key some worker
+// has cached anyway dedups remotely — the worker answers its dispatch
+// with an instant done.
+func (c *Coordinator) Submit(req service.Request) (JobStatus, bool, error) {
+	key, err := req.Key() // validates and canonicalizes
+	if err != nil {
+		return JobStatus{}, false, err
+	}
+	_, cached := c.store.GetLocal(key)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return JobStatus{}, false, service.ErrShuttingDown
+	}
+	if prior := c.byKey[key]; prior != nil {
+		c.counters.Add("deduped", 1)
+		return c.statusLocked(prior), false, nil
+	}
+
+	job := &cjob{
+		id:      fmt.Sprintf("c%06d", c.nextID+1),
+		key:     key,
+		req:     req,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	if cached {
+		c.nextID++
+		c.counters.Add("submitted", 1)
+		c.counters.Add("cache_hits", 1)
+		job.state = service.JobDone
+		job.cacheHit = true
+		job.finished = job.created
+		close(job.done)
+		c.jobs[job.id] = job
+		c.order = append(c.order, job.id)
+		c.terminal++
+		c.evictLocked()
+		return c.statusLocked(job), true, nil
+	}
+	if len(c.jobs)-c.terminal >= c.cfg.QueueDepth {
+		return JobStatus{}, false, service.ErrQueueFull
+	}
+	c.nextID++
+	c.counters.Add("submitted", 1)
+	job.state = service.JobQueued
+	c.jobs[job.id] = job
+	c.byKey[key] = job
+	c.order = append(c.order, job.id)
+	c.evictLocked()
+	c.kickLocked()
+	c.cfg.Logf("cluster: %s queued: %s key=%.12s", job.id, req.Experiment, key)
+	return c.statusLocked(job), true, nil
+}
+
+// kickLocked nudges the control loop to dispatch soon.
+func (c *Coordinator) kickLocked() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Job returns the identified job's snapshot.
+func (c *Coordinator) Job(id string) (JobStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	job, ok := c.jobs[id]
+	if !ok {
+		return JobStatus{}, service.ErrUnknownJob
+	}
+	return c.statusLocked(job), nil
+}
+
+// Jobs lists every retained job in submission order.
+func (c *Coordinator) Jobs() []JobStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]JobStatus, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.statusLocked(c.jobs[id]))
+	}
+	return out
+}
+
+// JobCounts returns jobs per lifecycle state.
+func (c *Coordinator) JobCounts() map[service.JobState]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[service.JobState]int, len(service.States))
+	for _, st := range service.States {
+		out[st] = 0
+	}
+	for _, job := range c.jobs {
+		out[job.state]++
+	}
+	return out
+}
+
+// Wait blocks until the job is terminal or ctx is done.
+func (c *Coordinator) Wait(ctx context.Context, id string) (JobStatus, error) {
+	c.mu.Lock()
+	job, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return JobStatus{}, service.ErrUnknownJob
+	}
+	select {
+	case <-job.done:
+		return c.Job(id)
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+}
+
+// Cancel requests cancellation: unassigned queued jobs cancel on the
+// spot; assigned jobs get a best-effort remote DELETE now and are
+// re-DELETEd by the reconcile loop until the worker confirms, so a
+// partition during cancel cannot resurrect the job.
+func (c *Coordinator) Cancel(id string) (JobStatus, error) {
+	c.mu.Lock()
+	job, ok := c.jobs[id]
+	if !ok {
+		c.mu.Unlock()
+		return JobStatus{}, service.ErrUnknownJob
+	}
+	job.cancel = true
+	if !terminalState(job.state) && job.worker == "" {
+		c.finishLocked(job, service.JobCancelled, "cancelled while queued", "")
+	}
+	worker, remoteID := job.worker, job.remoteID
+	var url string
+	if m := c.members[worker]; m != nil {
+		url = m.url
+	}
+	c.mu.Unlock()
+
+	if url != "" && remoteID != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RPCTimeout)
+		var rst service.JobStatus
+		err := c.client.do(ctx, worker, http.MethodDelete, url+"/v1/jobs/"+remoteID, nil, &rst)
+		cancel()
+		if err == nil {
+			c.mu.Lock()
+			if job.worker == worker && job.remoteID == remoteID {
+				c.applyRemoteLocked(job, rst)
+			}
+			c.mu.Unlock()
+		} else {
+			c.counters.Add("rpc_errors", 1)
+		}
+	}
+	return c.Job(id)
+}
+
+// statusLocked snapshots a job.
+func (c *Coordinator) statusLocked(job *cjob) JobStatus {
+	st := JobStatus{
+		JobStatus: service.JobStatus{
+			ID:         job.id,
+			State:      job.state,
+			Experiment: job.req.Experiment,
+			Request:    job.req,
+			CacheHit:   job.cacheHit,
+			Error:      job.err,
+			ErrorKind:  job.errKind,
+			Attempts:   job.assigns,
+			Created:    job.created,
+			CPI:        job.cpi,
+		},
+		Worker: job.worker,
+		Stolen: job.stolen,
+	}
+	if job.state == service.JobDone {
+		st.ResultKey = job.key
+	}
+	if !job.started.IsZero() {
+		t := job.started
+		st.Started = &t
+	}
+	if !job.finished.IsZero() {
+		t := job.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// finishLocked moves a job to a terminal state exactly once.
+func (c *Coordinator) finishLocked(job *cjob, state service.JobState, errMsg, errKind string) {
+	if terminalState(job.state) {
+		return
+	}
+	job.state = state
+	job.err = errMsg
+	job.errKind = errKind
+	job.finished = time.Now()
+	delete(c.byKey, job.key) // placement fields stay for post-mortem status
+
+	c.terminal++
+	close(job.done)
+	switch state {
+	case service.JobDone:
+		c.counters.Add("completed", 1)
+	case service.JobFailed:
+		c.counters.Add("failed", 1)
+	case service.JobCancelled:
+		c.counters.Add("cancelled", 1)
+	}
+	c.evictLocked()
+}
+
+// evictLocked drops the oldest terminal jobs beyond RetainJobs.
+func (c *Coordinator) evictLocked() {
+	for c.terminal > c.cfg.RetainJobs {
+		evicted := false
+		for i, id := range c.order {
+			job := c.jobs[id]
+			if !terminalState(job.state) {
+				continue
+			}
+			delete(c.jobs, id)
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			c.terminal--
+			evicted = true
+			break
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// noteCompletedLocked records which worker holds a finished key.
+func (c *Coordinator) noteCompletedLocked(key, worker string) {
+	if _, seen := c.completedOn[key]; !seen {
+		c.completedLog = append(c.completedLog, key)
+		if len(c.completedLog) > completedOnCap {
+			delete(c.completedOn, c.completedLog[0])
+			c.completedLog = c.completedLog[1:]
+		}
+	}
+	c.completedOn[key] = worker
+}
+
+// applyRemoteLocked folds one observed remote job status into the
+// cluster job. Remote cancellations the client never asked for (an
+// out-of-band DELETE straight to the worker) requeue the job rather
+// than losing it.
+func (c *Coordinator) applyRemoteLocked(job *cjob, rst service.JobStatus) {
+	if terminalState(job.state) {
+		return
+	}
+	switch rst.State {
+	case service.JobQueued:
+		job.state = service.JobQueued
+	case service.JobRunning:
+		job.state = service.JobRunning
+		if job.started.IsZero() {
+			if rst.Started != nil {
+				job.started = *rst.Started
+			} else {
+				job.started = time.Now()
+			}
+		}
+	case service.JobDone:
+		if job.remoteDone {
+			return // already awaiting replication
+		}
+		job.cpi = rst.CPI
+		job.remoteDone = true
+		job.fetchTries = 0
+		c.noteCompletedLocked(job.key, job.worker)
+		// Not terminal yet: warmResults finishes the job once the result
+		// is replicated. Running (not queued) so it can't be stolen or
+		// re-dispatched meanwhile.
+		job.state = service.JobRunning
+		if job.started.IsZero() {
+			job.started = time.Now()
+		}
+	case service.JobFailed:
+		c.finishLocked(job, service.JobFailed, rst.Error, rst.ErrorKind)
+	case service.JobCancelled:
+		if job.cancel {
+			c.finishLocked(job, service.JobCancelled, "cancelled", "")
+			return
+		}
+		c.unassignLocked(job)
+		c.counters.Add("requeued_cancelled", 1)
+	}
+}
+
+// unassignLocked returns an assigned job to the dispatchable pool.
+func (c *Coordinator) unassignLocked(job *cjob) {
+	job.worker, job.remoteID = "", ""
+	job.state = service.JobQueued
+	job.remoteDone = false
+	job.fetchTries = 0
+	c.kickLocked()
+}
+
+// run is the control loop. Every membership and placement transition
+// happens on this goroutine, which is what keeps dispatch, reconcile,
+// steal and death-rehash from racing one another.
+func (c *Coordinator) run() {
+	defer c.wg.Done()
+	c.probe() // immediate first round: readyz and dispatch need not wait
+	c.dispatch()
+	probeT := time.NewTicker(c.cfg.ProbeInterval)
+	defer probeT.Stop()
+	pollT := time.NewTicker(c.cfg.PollInterval)
+	defer pollT.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-probeT.C:
+			c.probe()
+			c.dispatch()
+		case <-pollT.C:
+			c.reconcile()
+			c.steal()
+			c.dispatch()
+			c.warmResults()
+		case <-c.kick:
+			c.dispatch()
+		}
+	}
+}
+
+// probe health-checks every member in parallel and applies liveness
+// transitions: DeadAfter consecutive failures kill a worker (its jobs
+// are re-hashed); one success revives it.
+func (c *Coordinator) probe() {
+	c.mu.Lock()
+	targets := make([]*member, 0, len(c.members))
+	for _, m := range c.members {
+		targets = append(targets, m)
+	}
+	c.mu.Unlock()
+
+	results := make(map[string]bool, len(targets))
+	var (
+		rmu sync.Mutex
+		wg  sync.WaitGroup
+	)
+	for _, m := range targets {
+		wg.Add(1)
+		go func(name, url string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+			defer cancel()
+			err := c.client.do(ctx, name, http.MethodGet, url+"/v1/healthz", nil, nil)
+			rmu.Lock()
+			results[name] = err == nil
+			rmu.Unlock()
+		}(m.name, m.url)
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	changed := false
+	for name, ok := range results {
+		m := c.members[name]
+		if ok {
+			m.fails = 0
+			if !m.alive {
+				m.alive = true
+				changed = true
+				c.counters.Add("worker_joined", 1)
+				c.cfg.Logf("cluster: worker %s alive", name)
+			}
+			continue
+		}
+		m.fails++
+		if m.alive && m.fails >= c.cfg.DeadAfter {
+			m.alive = false
+			changed = true
+			c.counters.Add("worker_dead", 1)
+			c.cfg.Logf("cluster: worker %s dead after %d failed probes", name, m.fails)
+			c.rehashDeadLocked(name)
+		}
+	}
+	if changed {
+		live := make([]string, 0, len(c.members))
+		for _, m := range c.members {
+			if m.alive {
+				live = append(live, m.name)
+			}
+		}
+		c.ring = NewRing(c.cfg.VNodes, live...)
+	}
+	c.probed = true
+}
+
+// rehashDeadLocked requeues every non-terminal job assigned to a dead
+// worker; the next dispatch places each on the ring rebuilt without it.
+func (c *Coordinator) rehashDeadLocked(name string) {
+	for _, job := range c.jobs {
+		if job.worker == name && !terminalState(job.state) {
+			c.unassignLocked(job)
+			c.counters.Add("rehashed", 1)
+			c.cfg.Logf("cluster: %s rehashed off dead %s", job.id, name)
+		}
+	}
+}
+
+// dispatch places every unassigned queued job on its ring owner.
+func (c *Coordinator) dispatch() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	ring := c.ring
+	urls := c.liveURLsLocked()
+	var pending []*cjob
+	for _, id := range c.order {
+		job := c.jobs[id]
+		if job.state == service.JobQueued && job.worker == "" && !job.cancel {
+			pending = append(pending, job)
+		}
+	}
+	c.mu.Unlock()
+	if ring.Len() == 0 || len(pending) == 0 {
+		return
+	}
+
+	for _, job := range pending {
+		owner, ok := ring.Owner(job.key)
+		if !ok {
+			return
+		}
+		url := urls[owner]
+		if url == "" {
+			continue
+		}
+		c.mu.Lock()
+		if job.assigns >= c.cfg.MaxAssigns {
+			c.finishLocked(job, service.JobFailed,
+				fmt.Sprintf("exceeded %d worker assignments", c.cfg.MaxAssigns), "cluster")
+			c.mu.Unlock()
+			continue
+		}
+		c.mu.Unlock()
+		c.assign(job, owner, url, false)
+	}
+}
+
+// assign submits one job to one worker and records the placement. The
+// steal flag marks reassignments taken from a straggler.
+func (c *Coordinator) assign(job *cjob, worker, url string, steal bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RPCTimeout)
+	defer cancel()
+	var sr struct {
+		service.JobStatus
+		Deduped bool `json:"deduped"`
+	}
+	err := c.client.do(ctx, worker, http.MethodPost, url+"/v1/jobs", job.req, &sr)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		if StatusCode(err) == http.StatusTooManyRequests {
+			c.counters.Add("dispatch_backpressure", 1)
+		} else {
+			c.counters.Add("rpc_errors", 1)
+			c.cfg.Logf("cluster: dispatch %s to %s: %v", job.id, worker, err)
+		}
+		return // stays unassigned; next tick retries
+	}
+	if terminalState(job.state) || job.cancel || job.worker != "" {
+		return // cancelled or re-placed while the RPC was in flight
+	}
+	job.worker = worker
+	job.remoteID = sr.ID
+	job.assigns++
+	if steal {
+		job.stolen++
+		c.counters.Add("stolen", 1)
+	}
+	c.counters.Add("dispatched", 1)
+	c.cfg.Logf("cluster: %s -> %s as %s", job.id, worker, sr.ID)
+	c.applyRemoteLocked(job, sr.JobStatus) // instant done on a worker cache hit
+}
+
+// reconcile polls each live worker's job list and folds the observed
+// states into cluster jobs; lost jobs (a worker that restarted without
+// its journal) requeue, and unconfirmed cancels are re-issued.
+func (c *Coordinator) reconcile() {
+	c.mu.Lock()
+	byWorker := make(map[string][]*cjob)
+	urls := c.liveURLsLocked()
+	for _, job := range c.jobs {
+		if !terminalState(job.state) && job.worker != "" && job.remoteID != "" {
+			byWorker[job.worker] = append(byWorker[job.worker], job)
+		}
+	}
+	c.mu.Unlock()
+
+	type delTarget struct {
+		worker, url, remoteID string
+		job                   *cjob
+	}
+	var dels []delTarget
+	for worker, assigned := range byWorker {
+		url := urls[worker]
+		if url == "" {
+			continue // dead: probe handles the rehash
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RPCTimeout)
+		var list struct {
+			Jobs []service.JobStatus `json:"jobs"`
+		}
+		err := c.client.do(ctx, worker, http.MethodGet, url+"/v1/jobs", nil, &list)
+		cancel()
+		if err != nil {
+			c.counters.Add("rpc_errors", 1)
+			continue
+		}
+		byID := make(map[string]service.JobStatus, len(list.Jobs))
+		for _, st := range list.Jobs {
+			byID[st.ID] = st
+		}
+		c.mu.Lock()
+		for _, job := range assigned {
+			if terminalState(job.state) || job.worker != worker {
+				continue
+			}
+			rst, ok := byID[job.remoteID]
+			if !ok {
+				// The worker no longer knows the job: it restarted without
+				// journal replay or evicted the record. Rerun elsewhere.
+				c.unassignLocked(job)
+				c.counters.Add("requeued_lost", 1)
+				c.cfg.Logf("cluster: %s lost by %s, requeued", job.id, worker)
+				continue
+			}
+			c.applyRemoteLocked(job, rst)
+			if job.cancel && !terminalState(job.state) && !job.remoteDone {
+				dels = append(dels, delTarget{worker, url, job.remoteID, job})
+			}
+		}
+		c.mu.Unlock()
+	}
+
+	for _, d := range dels {
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RPCTimeout)
+		var rst service.JobStatus
+		err := c.client.do(ctx, d.worker, http.MethodDelete, d.url+"/v1/jobs/"+d.remoteID, nil, &rst)
+		cancel()
+		if err != nil {
+			c.counters.Add("rpc_errors", 1)
+			continue
+		}
+		c.mu.Lock()
+		if d.job.worker == d.worker && d.job.remoteID == d.remoteID {
+			c.applyRemoteLocked(d.job, rst)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// steal rebalances: when a worker sits idle while another holds at
+// least StealMargin worker-queued cluster jobs, the coordinator cancels
+// the straggler's most recently queued job and resubmits it to the idle
+// worker. One steal per idle worker per round keeps the churn bounded.
+func (c *Coordinator) steal() {
+	c.mu.Lock()
+	urls := c.liveURLsLocked()
+	queuedBy := make(map[string][]*cjob)
+	busy := make(map[string]int)
+	for _, job := range c.jobs {
+		if terminalState(job.state) || job.worker == "" {
+			continue
+		}
+		busy[job.worker]++
+		if job.state == service.JobQueued && !job.cancel {
+			queuedBy[job.worker] = append(queuedBy[job.worker], job)
+		}
+	}
+	var idle []string
+	for name := range urls {
+		if busy[name] == 0 {
+			idle = append(idle, name)
+		}
+	}
+	sort.Strings(idle)
+	c.mu.Unlock()
+	if len(idle) == 0 {
+		return
+	}
+
+	for _, thief := range idle {
+		// Most-loaded straggler with at least StealMargin queued.
+		var victim string
+		for name, q := range queuedBy {
+			if name == thief || urls[name] == "" || len(q) < c.cfg.StealMargin {
+				continue
+			}
+			if victim == "" || len(q) > len(queuedBy[victim]) ||
+				(len(q) == len(queuedBy[victim]) && name < victim) {
+				victim = name
+			}
+		}
+		if victim == "" {
+			return
+		}
+		q := queuedBy[victim]
+		job := q[len(q)-1] // LIFO: keep the victim's FIFO head in place
+		queuedBy[victim] = q[:len(q)-1]
+
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RPCTimeout)
+		var rst service.JobStatus
+		err := c.client.do(ctx, victim, http.MethodDelete, urls[victim]+"/v1/jobs/"+job.remoteID, nil, &rst)
+		cancel()
+		if err != nil {
+			if StatusCode(err) == http.StatusNotFound {
+				c.mu.Lock()
+				if !terminalState(job.state) && job.worker == victim {
+					c.unassignLocked(job)
+					c.counters.Add("requeued_lost", 1)
+				}
+				c.mu.Unlock()
+			} else {
+				c.counters.Add("rpc_errors", 1)
+			}
+			continue
+		}
+		if rst.State == service.JobDone || rst.State == service.JobFailed {
+			// Raced: the job finished between the poll and the DELETE.
+			c.mu.Lock()
+			if job.worker == victim {
+				c.applyRemoteLocked(job, rst)
+			}
+			c.mu.Unlock()
+			continue
+		}
+		// Cancelled (or cancelling): move it to the thief. Results are
+		// content-addressed and deterministic, so even a cancel that lost
+		// the race and let the run finish cannot corrupt anything — the
+		// two shards would store byte-identical results.
+		c.mu.Lock()
+		if terminalState(job.state) || job.cancel || job.worker != victim {
+			c.mu.Unlock()
+			continue
+		}
+		job.worker, job.remoteID = "", ""
+		c.mu.Unlock()
+		c.assign(job, thief, urls[thief], true)
+	}
+}
+
+// warmResults replicates worker-reported results into the
+// coordinator's own store and only then marks those jobs done (a Get
+// drives the store's peer tier, which asks the completing worker
+// first). This is the durability handshake: a job is never terminal
+// while its result lives only on a shard that might die. A result that
+// stays unfetchable for 3 rounds — worker died right after finishing —
+// sends the job back to dispatch for a rerun; determinism and
+// content-addressing make the rerun byte-identical, so nothing is
+// double-counted.
+func (c *Coordinator) warmResults() {
+	c.mu.Lock()
+	var pend []*cjob
+	for _, job := range c.jobs {
+		if job.remoteDone && !terminalState(job.state) {
+			pend = append(pend, job)
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(pend, func(i, j int) bool { return pend[i].id < pend[j].id })
+	for _, job := range pend {
+		_, ok := c.store.Get(job.key)
+		c.mu.Lock()
+		switch {
+		case terminalState(job.state) || !job.remoteDone:
+			// raced with a concurrent transition; nothing to do
+		case ok:
+			c.counters.Add("results_warmed", 1)
+			c.finishLocked(job, service.JobDone, "", "")
+		default:
+			job.fetchTries++
+			if job.fetchTries >= 3 {
+				c.counters.Add("warm_failures", 1)
+				c.cfg.Logf("cluster: %s done on %s but result unreachable; rerunning", job.id, job.worker)
+				c.unassignLocked(job)
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// liveURLsLocked maps live member name → base URL.
+func (c *Coordinator) liveURLsLocked() map[string]string {
+	out := make(map[string]string, len(c.members))
+	for _, m := range c.members {
+		if m.alive {
+			out[m.name] = m.url
+		}
+	}
+	return out
+}
+
+// fetchEnvelope is the coordinator store's peer tier: candidates are
+// the worker that completed the key (authoritative for stolen and
+// rehashed jobs), then the ring owner, then the rest of the live fleet.
+// First hit wins; all-404 is a clean miss; a miss with transport errors
+// reports the first error so the store counts it.
+func (c *Coordinator) fetchEnvelope(ctx context.Context, key string) ([]byte, error) {
+	c.mu.Lock()
+	urls := c.liveURLsLocked()
+	var cands []string
+	seen := make(map[string]bool)
+	add := func(name string) {
+		if name != "" && urls[name] != "" && !seen[name] {
+			seen[name] = true
+			cands = append(cands, name)
+		}
+	}
+	add(c.completedOn[key])
+	if owner, ok := c.ring.Owner(key); ok {
+		add(owner)
+	}
+	rest := make([]string, 0, len(urls))
+	for name := range urls {
+		rest = append(rest, name)
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		add(name)
+	}
+	c.mu.Unlock()
+
+	var firstErr error
+	for _, name := range cands {
+		b, err := c.client.getBytes(ctx, name, urls[name]+"/v1/store/"+key)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if b != nil {
+			return b, nil
+		}
+	}
+	return nil, firstErr
+}

@@ -1,0 +1,408 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"acb/internal/expo"
+	"acb/internal/service"
+)
+
+// Server is the coordinator's HTTP front end. It speaks a superset of
+// the single-node API — same job and result endpoints, same status
+// shapes — so every existing client (acbd submit, curl scripts, the CI
+// smoke jobs) points at a coordinator unchanged, plus the cluster-only
+// endpoints:
+//
+//	POST /v1/jobs:batch      submit many requests in one call
+//	GET  /v1/results:stream  NDJSON job statuses as they finish
+//	GET  /v1/cluster         fleet membership and liveness
+//	GET  /v1/metrics         every node's series merged, node-labeled
+type Server struct {
+	coord *Coordinator
+}
+
+// NewServer returns a server over coord.
+func NewServer(coord *Coordinator) *Server { return &Server{coord: coord} }
+
+// Handler builds the route table.
+func (srv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", srv.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", srv.handleReadyz)
+	mux.HandleFunc("POST /v1/jobs", srv.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs:batch", srv.handleSubmitBatch)
+	mux.HandleFunc("GET /v1/jobs", srv.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", srv.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", srv.handleCancelJob)
+	mux.HandleFunc("GET /v1/results/{key}", srv.handleGetResult)
+	mux.HandleFunc("GET /v1/results:stream", srv.handleStream)
+	mux.HandleFunc("GET /v1/store/{key}", srv.handleGetEnvelope)
+	mux.HandleFunc("GET /v1/cluster", srv.handleCluster)
+	mux.HandleFunc("GET /v1/metrics", srv.handleMetrics)
+	return mux
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (srv *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (srv *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if ok, reason := srv.coord.Ready(); !ok {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready", "reason": reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// submitResponse mirrors the single-node reply shape.
+type submitResponse struct {
+	JobStatus
+	Deduped bool `json:"deduped"`
+}
+
+func submitCode(st JobStatus, created bool) int {
+	if created && !st.CacheHit {
+		return http.StatusCreated
+	}
+	return http.StatusOK
+}
+
+func (srv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req service.Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: bad request body: %w", err))
+		return
+	}
+	st, created, err := srv.coord.Submit(req)
+	switch {
+	case errors.Is(err, service.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, service.ErrShuttingDown):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, submitCode(st, created), submitResponse{JobStatus: st, Deduped: !created})
+}
+
+// batchRequest / batchResponse are the bulk submission shapes: one
+// round-trip for a whole sweep. Items are independent — a rejected
+// request (bad experiment, queue full) reports its error in place
+// without failing the rest.
+type batchRequest struct {
+	Jobs []service.Request `json:"jobs"`
+}
+
+type batchItem struct {
+	JobStatus
+	Deduped bool   `json:"deduped,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Jobs []batchItem `json:"jobs"`
+}
+
+func (srv *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: bad batch body: %w", err))
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: empty batch"))
+		return
+	}
+	const maxBatch = 1024
+	if len(req.Jobs) > maxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: batch of %d exceeds %d", len(req.Jobs), maxBatch))
+		return
+	}
+	resp := batchResponse{Jobs: make([]batchItem, 0, len(req.Jobs))}
+	for _, jr := range req.Jobs {
+		st, created, err := srv.coord.Submit(jr)
+		if errors.Is(err, service.ErrShuttingDown) {
+			w.Header().Set("Retry-After", "5")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		item := batchItem{JobStatus: st, Deduped: err == nil && !created}
+		if err != nil {
+			item.Error = err.Error()
+		}
+		resp.Jobs = append(resp.Jobs, item)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (srv *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": srv.coord.Jobs()})
+}
+
+func (srv *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	st, err := srv.coord.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (srv *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	st, err := srv.coord.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleGetResult proxies any completed result through the
+// coordinator's store: local tiers first, then peer-fetch from the
+// worker holding it. Byte-identical to fetching from the worker
+// directly — the JSON path serves json.Marshal of the same table.
+func (srv *Server) handleGetResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	tab, ok := srv.coord.Store().Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("cluster: no result for key %q", key))
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		b, err := json.Marshal(tab)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		fmt.Fprint(w, tab.CSV())
+	case "ascii":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, tab.String())
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("cluster: unknown format %q (want json, csv or ascii)", format))
+	}
+}
+
+// handleGetEnvelope serves the coordinator store's local envelope (the
+// coordinator can itself act as a peer once its cache has filled).
+func (srv *Server) handleGetEnvelope(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	b, ok := srv.coord.Store().Envelope(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("cluster: no stored envelope for key %q", key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+func (srv *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	members := srv.coord.Members()
+	alive := 0
+	for _, m := range members {
+		if m.Alive {
+			alive++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"node":    srv.coord.cfg.Node,
+		"alive":   alive,
+		"members": members,
+	})
+}
+
+// handleStream emits NDJSON job statuses in completion order: one
+// compact JSON line per job as it reaches a terminal state, flushed
+// immediately. ?ids=a,b,c selects jobs (default: all known); ?timeout
+// bounds the wait (default 5m). Unknown IDs yield an error line.
+func (srv *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	var ids []string
+	if q := r.URL.Query().Get("ids"); q != "" {
+		for _, id := range strings.Split(q, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	} else {
+		for _, st := range srv.coord.Jobs() {
+			ids = append(ids, st.ID)
+		}
+	}
+	timeout := 5 * time.Minute
+	if q := r.URL.Query().Get("timeout"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: bad timeout %q", q))
+			return
+		}
+		timeout = d
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	type line struct {
+		st  JobStatus
+		err error
+		id  string
+	}
+	ch := make(chan line, len(ids))
+	for _, id := range ids {
+		go func(id string) {
+			st, err := srv.coord.Wait(ctx, id)
+			ch <- line{st: st, err: err, id: id}
+		}(id)
+	}
+	enc := json.NewEncoder(w) // no indent: one object per line
+	for range ids {
+		l := <-ch
+		if l.err != nil {
+			_ = enc.Encode(map[string]string{"id": l.id, "error": l.err.Error()})
+		} else {
+			_ = enc.Encode(l.st)
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if ctx.Err() != nil && l.err != nil {
+			return // timed out: remaining waiters would all report the same
+		}
+	}
+}
+
+// handleMetrics serves the cluster-wide exposition: every live node's
+// /v1/metrics parsed, stamped with node=<membership name> (the
+// coordinator's name for the worker is authoritative, whatever the
+// worker calls itself), merged family-by-family with the coordinator's
+// own series, and re-emitted as one text 0.0.4 document.
+func (srv *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	c := srv.coord
+	members := c.Members()
+
+	type scrape struct {
+		name     string
+		families []expo.Family
+		err      error
+	}
+	results := make([]scrape, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		if !m.Alive {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, name, url string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+			defer cancel()
+			b, err := c.client.getBytes(ctx, name, url+"/v1/metrics")
+			if err == nil && b == nil {
+				err = fmt.Errorf("cluster: %s has no /v1/metrics", name)
+			}
+			var fams []expo.Family
+			if err == nil {
+				fams, err = expo.Parse(string(b))
+			}
+			if err == nil {
+				expo.SetLabel(fams, "node", name)
+			}
+			results[i] = scrape{name: name, families: fams, err: err}
+		}(i, m.Name, m.URL)
+	}
+	wg.Wait()
+
+	// The coordinator's own series, including per-worker scrape health so
+	// the exposition itself shows which nodes this document covers.
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP acbd_cluster_workers Fleet members by probed liveness.\n# TYPE acbd_cluster_workers gauge\n")
+	alive, dead := 0, 0
+	for _, m := range members {
+		if m.Alive {
+			alive++
+		} else {
+			dead++
+		}
+	}
+	fmt.Fprintf(&b, "acbd_cluster_workers{state=\"alive\"} %d\n", alive)
+	fmt.Fprintf(&b, "acbd_cluster_workers{state=\"dead\"} %d\n", dead)
+	fmt.Fprintf(&b, "# HELP acbd_cluster_jobs Cluster jobs by lifecycle state.\n# TYPE acbd_cluster_jobs gauge\n")
+	counts := c.JobCounts()
+	for _, st := range service.States {
+		fmt.Fprintf(&b, "acbd_cluster_jobs{state=%q} %d\n", st, counts[st])
+	}
+	fmt.Fprintf(&b, "# HELP acbd_cluster_events_total Monotonic coordinator events.\n# TYPE acbd_cluster_events_total counter\n")
+	for _, name := range c.counters.Names() {
+		fmt.Fprintf(&b, "acbd_cluster_events_total{event=%q} %d\n", name, c.counters.Get(name))
+	}
+	fmt.Fprintf(&b, "# HELP acbd_cluster_scrape_up Whether this exposition includes the worker's series (0 = dead or scrape failed).\n# TYPE acbd_cluster_scrape_up gauge\n")
+	for i, m := range members {
+		up := 0
+		if m.Alive && results[i].err == nil {
+			up = 1
+		}
+		fmt.Fprintf(&b, "acbd_cluster_scrape_up{worker=%q} %d\n", m.Name, up)
+	}
+	self, err := expo.Parse(b.String())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("cluster: self metrics: %w", err))
+		return
+	}
+	expo.SetLabel(self, "node", c.cfg.Node)
+
+	inputs := [][]expo.Family{self}
+	for _, s := range results {
+		if s.name == "" {
+			continue // dead member: never scraped
+		}
+		if s.err != nil {
+			c.counters.Add("scrape_errors", 1)
+			continue
+		}
+		inputs = append(inputs, s.families)
+	}
+	merged := expo.Merge(inputs...)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = expo.Write(w, merged)
+}

@@ -1,0 +1,276 @@
+// Package expo parses, rewrites and merges Prometheus text exposition
+// (version 0.0.4). It exists for exactly two jobs in this codebase:
+// stamping a node label onto every series a single daemon emits (so two
+// indistinguishable acbd instances can never be merged into one
+// meaningless series by a scraper), and rolling the per-node expositions
+// of a cluster up into one aggregated exposition on the coordinator.
+//
+// The parser is deliberately narrow: it round-trips exactly the subset
+// of the format the acbd metrics handlers produce — `# HELP` / `# TYPE`
+// comments and `name[{labels}] value` samples — and preserves sample
+// values as strings, so relabeling never reformats a number.
+package expo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Label is one name="value" pair. Values are stored unescaped.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one exposition sample line.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  string // verbatim, never reparsed
+}
+
+// Family is one metric family: its HELP/TYPE declaration and samples in
+// emission order. Histogram families own their _bucket/_sum/_count
+// samples.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Parse reads a text exposition into families, preserving family and
+// sample order. Samples that appear before any TYPE declaration of a
+// matching family are rejected, as are malformed comment and sample
+// lines: this is a closed system, not a lenient scraper.
+func Parse(text string) ([]Family, error) {
+	var (
+		families []Family
+		byName   = make(map[string]int)
+	)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "# ")
+			kind, rest, ok := strings.Cut(rest, " ")
+			if !ok || (kind != "HELP" && kind != "TYPE") {
+				return nil, fmt.Errorf("expo: malformed comment line %q", line)
+			}
+			name, payload, _ := strings.Cut(rest, " ")
+			if name == "" {
+				return nil, fmt.Errorf("expo: comment line without metric name: %q", line)
+			}
+			i, ok := byName[name]
+			if !ok {
+				i = len(families)
+				byName[name] = i
+				families = append(families, Family{Name: name})
+			}
+			if kind == "HELP" {
+				families[i].Help = payload
+			} else {
+				families[i].Type = payload
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, err
+		}
+		i, ok := byName[familyOf(s.Name, byName)]
+		if !ok {
+			return nil, fmt.Errorf("expo: sample %q has no TYPE/HELP declaration", s.Name)
+		}
+		families[i].Samples = append(families[i].Samples, s)
+	}
+	return families, nil
+}
+
+// familyOf resolves a sample name to its family name: itself, or — for
+// histogram sample suffixes — the declared base family.
+func familyOf(name string, byName map[string]int) string {
+	if _, ok := byName[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if _, ok := byName[base]; ok {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseSample splits `name[{labels}] value`.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		s.Name = line[:i]
+		j := strings.LastIndex(line, "}")
+		if j < i {
+			return s, fmt.Errorf("expo: malformed labeled sample %q", line)
+		}
+		labels, err := parseLabels(line[i+1 : j])
+		if err != nil {
+			return s, fmt.Errorf("expo: sample %q: %w", line, err)
+		}
+		s.Labels = labels
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		var ok bool
+		s.Name, rest, ok = strings.Cut(line, " ")
+		if !ok {
+			return s, fmt.Errorf("expo: sample line without value: %q", line)
+		}
+	}
+	if s.Name == "" || rest == "" {
+		return s, fmt.Errorf("expo: malformed sample line %q", line)
+	}
+	s.Value = rest
+	return s, nil
+}
+
+// parseLabels splits `a="x",b="y"` handling escaped quotes/backslashes.
+func parseLabels(body string) ([]Label, error) {
+	var labels []Label
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || len(body) < eq+2 || body[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed label list at %q", body)
+		}
+		name := body[:eq]
+		rest := body[eq+2:]
+		var b strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+		}
+		if i == len(rest) {
+			return nil, fmt.Errorf("unterminated label value at %q", body)
+		}
+		labels = append(labels, Label{Name: name, Value: b.String()})
+		body = rest[i+1:]
+		body = strings.TrimPrefix(body, ",")
+	}
+	return labels, nil
+}
+
+// SetLabel sets (or overrides) one label on every sample of every
+// family, in place. Existing occurrences are overridden where they
+// stand; otherwise the label is appended, so e.g. `{state="queued"}`
+// becomes `{state="queued",node="w1"}`.
+func SetLabel(families []Family, name, value string) {
+	for fi := range families {
+		for si := range families[fi].Samples {
+			s := &families[fi].Samples[si]
+			found := false
+			for li := range s.Labels {
+				if s.Labels[li].Name == name {
+					s.Labels[li].Value = value
+					found = true
+				}
+			}
+			if !found {
+				s.Labels = append(s.Labels, Label{Name: name, Value: value})
+			}
+		}
+	}
+}
+
+// Merge combines several expositions into one: families with the same
+// name are unified under the first-seen HELP/TYPE and their samples
+// concatenated in input order. It is the aggregation step of the
+// coordinator's cluster-wide /v1/metrics — inputs are expected to carry
+// a distinguishing node label already (SetLabel), and families are
+// emitted sorted by name so aggregated output is deterministic whatever
+// order the per-node scrapes landed in.
+func Merge(inputs ...[]Family) []Family {
+	var (
+		out    []Family
+		byName = make(map[string]int)
+	)
+	for _, families := range inputs {
+		for _, f := range families {
+			i, ok := byName[f.Name]
+			if !ok {
+				byName[f.Name] = len(out)
+				out = append(out, f)
+				continue
+			}
+			out[i].Samples = append(out[i].Samples, f.Samples...)
+			if out[i].Help == "" {
+				out[i].Help = f.Help
+			}
+			if out[i].Type == "" {
+				out[i].Type = f.Type
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Write renders families back to exposition text.
+func Write(w io.Writer, families []Family) error {
+	for _, f := range families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, f.Help); err != nil {
+				return err
+			}
+		}
+		if f.Type != "" {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+				return err
+			}
+		}
+		for _, s := range f.Samples {
+			if len(s.Labels) == 0 {
+				if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, s.Value); err != nil {
+					return err
+				}
+				continue
+			}
+			var b strings.Builder
+			for i, l := range s.Labels {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				// %q escapes exactly what the exposition format requires
+				// (backslash, quote, newline) for the values we carry.
+				fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+			}
+			if _, err := fmt.Fprintf(w, "%s{%s} %s\n", s.Name, b.String(), s.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// String renders families to a string (Write over a builder).
+func String(families []Family) string {
+	var b strings.Builder
+	_ = Write(&b, families)
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package expo
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleText = `# HELP acbd_jobs Jobs by lifecycle state.
+# TYPE acbd_jobs gauge
+acbd_jobs{state="queued"} 0
+acbd_jobs{state="running"} 2
+# HELP acbd_simulations_total Simulations dispatched onto the worker pool.
+# TYPE acbd_simulations_total counter
+acbd_simulations_total 7
+# HELP acbd_job_duration_seconds Wall-clock duration of executed jobs.
+# TYPE acbd_job_duration_seconds histogram
+acbd_job_duration_seconds_bucket{le="0.05"} 1
+acbd_job_duration_seconds_bucket{le="+Inf"} 3
+acbd_job_duration_seconds_sum 1.25
+acbd_job_duration_seconds_count 3
+`
+
+func TestParseRoundTrip(t *testing.T) {
+	families, err := Parse(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(families) != 3 {
+		t.Fatalf("parsed %d families, want 3", len(families))
+	}
+	if families[0].Name != "acbd_jobs" || families[0].Type != "gauge" {
+		t.Fatalf("family[0] = %+v", families[0])
+	}
+	// Histogram suffix samples attach to the base family.
+	if got := len(families[2].Samples); got != 4 {
+		t.Fatalf("histogram family has %d samples, want 4", got)
+	}
+	if got := String(families); got != sampleText {
+		t.Errorf("round trip drifted:\n got: %q\nwant: %q", got, sampleText)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, text := range []string{
+		"# BOGUS foo counter\nfoo 1\n",
+		"orphan_sample 1\n",
+		"# TYPE foo counter\nfoo{state=queued} 1\n", // unquoted label value
+		"# TYPE foo counter\nfoo\n",                 // no value
+		"# TYPE foo counter\nfoo{a=\"b} 1\n",        // unterminated value
+	} {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q) accepted malformed input", text)
+		}
+	}
+}
+
+func TestSetLabel(t *testing.T) {
+	families, err := Parse(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetLabel(families, "node", "w1")
+	out := String(families)
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, `node="w1"`) {
+			t.Errorf("sample without node label after SetLabel: %q", line)
+		}
+	}
+	// Existing labels survive alongside the new one.
+	if !strings.Contains(out, `acbd_jobs{state="queued",node="w1"} 0`) {
+		t.Errorf("labeled sample lost its original labels:\n%s", out)
+	}
+	// Override, not duplicate.
+	SetLabel(families, "node", "w2")
+	out = String(families)
+	if strings.Contains(out, `node="w1"`) || strings.Count(out, `node="w2"`) == 0 {
+		t.Errorf("SetLabel did not override prior node label:\n%s", out)
+	}
+	if strings.Contains(out, `node="w2",node=`) {
+		t.Errorf("SetLabel duplicated the node label:\n%s", out)
+	}
+}
+
+func TestMergeGroupsByFamilyAndSorts(t *testing.T) {
+	a, err := Parse("# HELP b_total b.\n# TYPE b_total counter\nb_total 1\n# TYPE a gauge\na 5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("# TYPE b_total counter\nb_total 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetLabel(a, "node", "w1")
+	SetLabel(b, "node", "w2")
+	merged := Merge(a, b)
+	if len(merged) != 2 || merged[0].Name != "a" || merged[1].Name != "b_total" {
+		t.Fatalf("merged families = %+v", merged)
+	}
+	if len(merged[1].Samples) != 2 {
+		t.Fatalf("b_total has %d samples after merge, want 2", len(merged[1].Samples))
+	}
+	want := "# TYPE a gauge\na{node=\"w1\"} 5\n# HELP b_total b.\n# TYPE b_total counter\nb_total{node=\"w1\"} 1\nb_total{node=\"w2\"} 2\n"
+	if got := String(merged); got != want {
+		t.Errorf("merged exposition:\n got: %q\nwant: %q", got, want)
+	}
+	// A single TYPE declaration per family: the duplicate-scrape case.
+	if strings.Count(String(merged), "# TYPE b_total") != 1 {
+		t.Error("merge emitted duplicate TYPE declarations")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	families := []Family{{
+		Name: "f", Type: "gauge",
+		Samples: []Sample{{Name: "f", Labels: []Label{{Name: "p", Value: `a"b\c`}}, Value: "1"}},
+	}}
+	out := String(families)
+	back, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", out, err)
+	}
+	if got := back[0].Samples[0].Labels[0].Value; got != `a"b\c` {
+		t.Errorf("escaped round trip = %q, want %q", got, `a"b\c`)
+	}
+}

@@ -66,6 +66,13 @@ type Rule struct {
 	// from the injector's seeded generator (deterministic for a fixed
 	// seed and call sequence).
 	Prob float64
+	// After suppresses the rule for the first After calls, so a fault
+	// can begin mid-run deterministically — the way a network partition
+	// opens partway through a sweep, not at submission time. Nth counts
+	// only the calls past the After window. Combined with Limit this
+	// expresses a bounded outage window: after=20,nth=1,limit=30 severs
+	// calls 21–50 and heals.
+	After int64
 	// Limit stops the rule after this many firings (0 = unlimited).
 	Limit int64
 	// Delay is slept on every firing (the whole fault for Slow; a
@@ -108,6 +115,18 @@ func (in *Injector) Set(name string, r Rule) {
 	in.points[name] = &point{rule: r}
 }
 
+// Clear removes the rule for an injection point — healing a partition
+// mid-test — discarding its counts. Clearing an unconfigured point is a
+// no-op. A nil Injector ignores the call.
+func (in *Injector) Clear(name string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.points, name)
+}
+
 // Fire evaluates the named point once: nil for no injection, an
 // ErrInjected-wrapped error for Error rules, a panic for Panic rules,
 // and a Delay-long sleep (then nil) for Slow rules. A nil Injector and
@@ -125,10 +144,15 @@ func (in *Injector) Fire(name string) error {
 	p.calls++
 	r := p.rule
 	fires := false
-	if r.Nth > 0 && p.calls%r.Nth == 0 {
+	armed := p.calls > r.After // pre-window calls never fire
+	if r.Nth > 0 && armed && (p.calls-r.After)%r.Nth == 0 {
 		fires = true
-	} else if r.Prob > 0 && in.rng.Float64() < r.Prob {
-		fires = true
+	} else if r.Prob > 0 {
+		// The draw happens even inside the After window so a fixed seed
+		// yields the same post-window decisions regardless of window size.
+		if in.rng.Float64() < r.Prob && armed {
+			fires = true
+		}
 	}
 	if fires && r.Limit > 0 && p.injected >= r.Limit {
 		fires = false
@@ -223,8 +247,8 @@ func (in *Injector) String() string {
 //
 //	point:opt[,opt...][;point:opt...]
 //
-// where opt is one of error | panic | slow | nth=N | prob=F | limit=N |
-// delay=DUR. Example:
+// where opt is one of error | panic | slow | nth=N | prob=F | after=N |
+// limit=N | delay=DUR. Example:
 //
 //	store.persist:error,prob=0.2;worker:panic,nth=5,limit=2;worker.slow:slow,delay=300ms
 //
@@ -263,6 +287,8 @@ func Parse(spec string, seed int64) (*Injector, error) {
 				r.Nth, err = strconv.ParseInt(val, 10, 64)
 			case "prob":
 				r.Prob, err = strconv.ParseFloat(val, 64)
+			case "after":
+				r.After, err = strconv.ParseInt(val, 10, 64)
 			case "limit":
 				r.Limit, err = strconv.ParseInt(val, 10, 64)
 			case "delay":
@@ -283,8 +309,8 @@ func Parse(spec string, seed int64) (*Injector, error) {
 		if r.Prob < 0 || r.Prob > 1 {
 			return nil, fmt.Errorf("faultinject: rule %q: prob %g outside [0,1]", part, r.Prob)
 		}
-		if r.Nth < 0 || r.Limit < 0 || r.Delay < 0 {
-			return nil, fmt.Errorf("faultinject: rule %q: negative nth/limit/delay", part)
+		if r.Nth < 0 || r.After < 0 || r.Limit < 0 || r.Delay < 0 {
+			return nil, fmt.Errorf("faultinject: rule %q: negative nth/after/limit/delay", part)
 		}
 		in.Set(name, r)
 	}

@@ -120,7 +120,7 @@ func TestNilAndUnconfigured(t *testing.T) {
 }
 
 func TestParse(t *testing.T) {
-	in, err := Parse("store.persist:error,prob=0.25;worker:panic,nth=5,limit=2;io:slow,delay=10ms,nth=1", 7)
+	in, err := Parse("store.persist:error,prob=0.25;worker:panic,nth=5,limit=2;io:slow,delay=10ms,nth=1;rpc.w1:error,nth=1,after=20,limit=30", 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,6 +131,7 @@ func TestParse(t *testing.T) {
 		"store.persist": {Kind: Error, Prob: 0.25},
 		"worker":        {Kind: Panic, Nth: 5, Limit: 2},
 		"io":            {Kind: Slow, Delay: 10 * time.Millisecond, Nth: 1},
+		"rpc.w1":        {Kind: Error, Nth: 1, After: 20, Limit: 30},
 	} {
 		in.mu.Lock()
 		p, ok := in.points[name]
@@ -154,11 +155,71 @@ func TestParse(t *testing.T) {
 		"p:nth=abc",          // unparsable
 		"p:panic=yes,nth=1",  // flag with value
 		"p:delay=-5ms,nth=1", // negative
+		"p:after=-1,nth=1",   // negative window
 	} {
 		if _, err := Parse(bad, 1); err == nil {
 			t.Errorf("Parse(%q) accepted", bad)
 		}
 	}
+}
+
+// TestAfterWindow: a rule with After stays silent through the warm-up
+// window, then fires by its usual schedule — the deterministic way to
+// open a partition mid-run. With Limit, the outage is a bounded window
+// that heals by itself.
+func TestAfterWindow(t *testing.T) {
+	in := New(1)
+	in.Set("p", Rule{Nth: 1, After: 5, Limit: 3})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if in.Fire("p") != nil {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{6, 7, 8}
+	if len(fired) != len(want) {
+		t.Fatalf("fired on calls %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on calls %v, want %v", fired, want)
+		}
+	}
+
+	// Nth counts from the end of the window, not from call 1.
+	in.Set("q", Rule{Nth: 3, After: 2})
+	fired = nil
+	for i := 1; i <= 11; i++ {
+		if in.Fire("q") != nil {
+			fired = append(fired, i)
+		}
+	}
+	want = []int{5, 8, 11}
+	for i := range want {
+		if i >= len(fired) || fired[i] != want[i] {
+			t.Fatalf("nth-after fired on calls %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestClearHealsPoint: Clear removes a rule mid-run (a healed
+// partition); unconfigured and nil-injector clears are no-ops.
+func TestClearHealsPoint(t *testing.T) {
+	in := New(1)
+	in.Set("rpc.w1", Rule{Nth: 1})
+	if in.Fire("rpc.w1") == nil {
+		t.Fatal("partition rule did not fire")
+	}
+	in.Clear("rpc.w1")
+	if err := in.Fire("rpc.w1"); err != nil {
+		t.Fatalf("cleared point still fired: %v", err)
+	}
+	if in.Calls("rpc.w1") != 0 {
+		t.Fatalf("cleared point retained counts: %d", in.Calls("rpc.w1"))
+	}
+	in.Clear("never-set")
+	var nilInj *Injector
+	nilInj.Clear("whatever")
 }
 
 func TestIsInjected(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"acb/internal/expo"
 	"acb/internal/ooo"
 )
 
@@ -20,11 +21,13 @@ import (
 //	GET    /v1/jobs/{id}     one job's status
 //	DELETE /v1/jobs/{id}     cancel a queued or running job
 //	GET    /v1/results/{key} stored table (?format=json|csv|ascii, default json)
+//	GET    /v1/store/{key}   raw stored-result envelope from the local tiers (peer-fetch wire format)
 //	GET    /v1/metrics       Prometheus text metrics
 //	GET    /v1/healthz       liveness
 //	GET    /v1/readyz        readiness (503 + Retry-After during journal replay and drain)
 type Server struct {
 	sched *Scheduler
+	node  string
 }
 
 // NewServer returns a server over sched.
@@ -32,6 +35,16 @@ func NewServer(sched *Scheduler) *Server { return &Server{sched: sched} }
 
 // Scheduler returns the underlying scheduler.
 func (srv *Server) Scheduler() *Scheduler { return srv.sched }
+
+// SetNode sets this instance's node identity. When set, every series on
+// /v1/metrics carries a node label, so two instances' expositions are
+// never indistinguishable — the precondition for cluster-wide metric
+// aggregation, and just as necessary when two single-node daemons share
+// one Prometheus.
+func (srv *Server) SetNode(name string) { srv.node = name }
+
+// Node returns the instance identity set by SetNode ("" when unset).
+func (srv *Server) Node() string { return srv.node }
 
 // Handler builds the route table.
 func (srv *Server) Handler() http.Handler {
@@ -43,6 +56,7 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", srv.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", srv.handleCancelJob)
 	mux.HandleFunc("GET /v1/results/{key}", srv.handleGetResult)
+	mux.HandleFunc("GET /v1/store/{key}", srv.handleGetEnvelope)
 	mux.HandleFunc("GET /v1/metrics", srv.handleMetrics)
 	return mux
 }
@@ -170,6 +184,24 @@ func (srv *Server) handleGetResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleGetEnvelope serves the raw stored-result envelope — the bytes
+// the disk tier holds (or their in-memory reconstruction) — from the
+// local tiers only. This is the peer-fetch wire format: a shard that
+// misses locally asks the owning shard here, and because the response is
+// the owner's envelope verbatim, a peer-filled replica file is
+// byte-identical to the original. Never consults this store's own peer
+// tier, so two shards cannot chase each other for a key neither owns.
+func (srv *Server) handleGetEnvelope(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	b, ok := srv.sched.Store().Envelope(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no stored envelope for key %q", key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
 // handleMetrics emits Prometheus text exposition (version 0.0.4).
 // Monotonic series follow the naming convention: every `*_total` name is
 // declared `# TYPE ... counter` (tested by TestMetricsExposition).
@@ -207,6 +239,11 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("acbd_store_entries", "Tables resident in the memory tier.", srv.sched.Store().Len())
 	counter("acbd_store_disk_errors_total", "Disk-tier failures: failed persists plus unreadable or corrupt result files.",
 		srv.sched.Store().DiskErrors())
+	peerHits, peerErrs := srv.sched.Store().PeerStats()
+	fmt.Fprintf(&b, "# HELP acbd_store_peer_fetches_total Peer-tier fetches by outcome (errors count transport failures and corrupt envelopes).\n")
+	fmt.Fprintf(&b, "# TYPE acbd_store_peer_fetches_total counter\n")
+	fmt.Fprintf(&b, "acbd_store_peer_fetches_total{outcome=\"hit\"} %d\n", peerHits)
+	fmt.Fprintf(&b, "acbd_store_peer_fetches_total{outcome=\"error\"} %d\n", peerErrs)
 
 	rs := srv.sched.RunnerStats()
 	counter("acbd_simulations_total", "Simulations dispatched onto the worker pool.", rs.Jobs())
@@ -245,5 +282,19 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if srv.node != "" {
+		// Stamp the instance identity onto every series, so a scraper (or
+		// the cluster coordinator's aggregator) can never merge two nodes'
+		// series into one. Emission stays label-free above; the relabel
+		// pass guarantees uniform coverage, including histogram samples.
+		families, err := expo.Parse(b.String())
+		if err == nil {
+			expo.SetLabel(families, "node", srv.node)
+			_ = expo.Write(w, families)
+			return
+		}
+		// An unparseable exposition is a bug; serve it raw rather than 500
+		// so operators can still see the malformed text.
+	}
 	fmt.Fprint(w, b.String())
 }

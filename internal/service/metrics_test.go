@@ -1,11 +1,15 @@
 package service
 
 import (
+	"context"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"acb/internal/expo"
 )
 
 // parseExposition splits Prometheus text exposition into declared types
@@ -134,6 +138,82 @@ func TestMetricsExposition(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "acbd_job_duration_seconds_count 1") {
 		t.Errorf("duration histogram did not observe the job:\n%s", body)
+	}
+}
+
+// TestMetricsNodeLabel is the aggregation-safety regression test: with
+// an instance identity set, every sample on /v1/metrics — plain,
+// pre-labeled and histogram alike — must carry a node label, so no
+// scraper or cluster aggregator can ever merge two nodes' series into
+// one indistinguishable stream. Parsed with the strict expo parser: a
+// relabeled exposition that stopped parsing would be its own bug.
+func TestMetricsNodeLabel(t *testing.T) {
+	store, err := NewStore(4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(SchedulerConfig{}, store)
+	srv := NewServer(sched)
+	srv.SetNode("w1")
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		sched.Shutdown(ctx)
+	})
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	families, err := expo.Parse(string(body))
+	if err != nil {
+		t.Fatalf("relabeled exposition does not parse: %v\n%s", err, body)
+	}
+	if len(families) == 0 {
+		t.Fatal("empty exposition")
+	}
+	var checked int
+	for _, f := range families {
+		for _, s := range f.Samples {
+			checked++
+			var node string
+			for _, l := range s.Labels {
+				if l.Name == "node" {
+					node = l.Value
+				}
+			}
+			if node != "w1" {
+				t.Errorf("sample %s{%v} missing node label", s.Name, s.Labels)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no samples checked")
+	}
+	// Pre-labeled series keep their original labels alongside node.
+	if !strings.Contains(string(body), `acbd_jobs{state="queued",node="w1"}`) {
+		t.Errorf("labeled series lost its state label:\n%s", body)
+	}
+
+	// Sanity: without SetNode the exposition is untouched (no node label).
+	bare := httptest.NewServer(NewServer(sched).Handler())
+	defer bare.Close()
+	resp, err = http.Get(bare.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bareBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(bareBody), `node="`) {
+		t.Error("node label emitted without an instance identity")
 	}
 }
 
