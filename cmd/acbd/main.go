@@ -314,11 +314,17 @@ type retryPolicy struct {
 	max   time.Duration // backoff ceiling
 	rng   *rand.Rand
 	sleep func(time.Duration)
+	now   func() time.Time // for Retry-After HTTP-date arithmetic
 }
+
+// maxRetryAfter caps how long a server-sent Retry-After hint can make a
+// client wait — a clock-skewed HTTP date (or a hostile header) must not
+// park a submission for hours.
+const maxRetryAfter = 5 * time.Minute
 
 func defaultRetryPolicy(tries int) *retryPolicy {
 	return &retryPolicy{tries: tries, base: 500 * time.Millisecond, max: 30 * time.Second,
-		rng: rand.New(rand.NewSource(time.Now().UnixNano())), sleep: time.Sleep}
+		rng: rand.New(rand.NewSource(time.Now().UnixNano())), sleep: time.Sleep, now: time.Now}
 }
 
 // post issues the request, retrying per the policy. The returned
@@ -350,8 +356,8 @@ func (p *retryPolicy) post(client *http.Client, url, contentType string, body []
 // plus a little jitter when the server sent one, equal-jitter
 // exponential backoff otherwise.
 func (p *retryPolicy) delay(attempt int, retryAfter string) time.Duration {
-	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
-		return time.Duration(secs)*time.Second + time.Duration(p.rng.Int63n(int64(p.base/2)+1))
+	if hint, ok := p.parseRetryAfter(retryAfter); ok {
+		return hint + time.Duration(p.rng.Int63n(int64(p.base/2)+1))
 	}
 	d := p.base << uint(attempt)
 	if d > p.max || d <= 0 {
@@ -359,6 +365,36 @@ func (p *retryPolicy) delay(attempt int, retryAfter string) time.Duration {
 	}
 	half := d / 2
 	return half + time.Duration(p.rng.Int63n(int64(half)+1))
+}
+
+// parseRetryAfter interprets a Retry-After header in both RFC 9110 forms:
+// delta-seconds and HTTP-date (the date converts to a wait against the
+// local clock; one already in the past means "retry now"). Either form is
+// clamped to maxRetryAfter. Returns ok=false for absent or unparseable
+// values, which sends the caller to exponential backoff.
+func (p *retryPolicy) parseRetryAfter(retryAfter string) (time.Duration, bool) {
+	v := strings.TrimSpace(retryAfter)
+	if v == "" {
+		return 0, false
+	}
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		d = time.Duration(secs) * time.Second
+	} else if when, err := http.ParseTime(v); err == nil {
+		d = when.Sub(p.now())
+		if d < 0 {
+			d = 0
+		}
+	} else {
+		return 0, false
+	}
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d, true
 }
 
 func submit(args []string) error {

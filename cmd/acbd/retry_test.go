@@ -10,6 +10,10 @@ import (
 	"time"
 )
 
+// testClock is the fixed "now" test policies compute HTTP-date
+// Retry-After waits against.
+var testClock = time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
+
 // testPolicy returns a deterministic policy that records sleeps
 // instead of performing them.
 func testPolicy(tries int) (*retryPolicy, *[]time.Duration) {
@@ -20,6 +24,7 @@ func testPolicy(tries int) (*retryPolicy, *[]time.Duration) {
 		max:   time.Second,
 		rng:   rand.New(rand.NewSource(1)),
 		sleep: func(d time.Duration) { slept = append(slept, d) },
+		now:   func() time.Time { return testClock },
 	}
 	return p, &slept
 }
@@ -136,6 +141,57 @@ func TestSubmitNoRetryOnHardError(t *testing.T) {
 	}
 	if got := atomic.LoadInt32(&calls); got != 1 || len(*slept) != 0 {
 		t.Fatalf("calls=%d slept=%d; 4xx other than 429 must not retry", got, len(*slept))
+	}
+}
+
+func TestSubmitRetryHonorsHTTPDate(t *testing.T) {
+	// RFC 9110 allows Retry-After as an HTTP-date; the wait is the gap to
+	// the local clock.
+	after := testClock.Add(3 * time.Second).UTC().Format(http.TimeFormat)
+	ts, calls := refuseThenAccept(1, http.StatusServiceUnavailable, after)
+	defer ts.Close()
+	p, slept := testPolicy(5)
+
+	resp, err := p.post(ts.Client(), ts.URL, "application/json", []byte("{}"))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d, want 201", resp.StatusCode)
+	}
+	if *calls != 2 || len(*slept) != 1 {
+		t.Fatalf("calls=%d slept=%d, want 2 calls / 1 sleep", *calls, len(*slept))
+	}
+	if d := (*slept)[0]; d < 3*time.Second || d > 3*time.Second+p.base/2 {
+		t.Errorf("sleep = %s, want within [3s, 3s+%s]", d, p.base/2)
+	}
+}
+
+func TestRetryAfterParsing(t *testing.T) {
+	p, _ := testPolicy(3)
+	httpDate := func(d time.Duration) string { return testClock.Add(d).UTC().Format(http.TimeFormat) }
+	cases := []struct {
+		name, header string
+		want         time.Duration
+		ok           bool
+	}{
+		{"delta-seconds", "7", 7 * time.Second, true},
+		{"delta-zero", "0", 0, true},
+		{"delta-clamped", "100000", maxRetryAfter, true},
+		{"delta-negative", "-3", 0, false},
+		{"http-date", httpDate(90 * time.Second), 90 * time.Second, true},
+		{"http-date-past", httpDate(-time.Hour), 0, true},
+		{"http-date-clamped", httpDate(24 * time.Hour), maxRetryAfter, true},
+		{"empty", "", 0, false},
+		{"garbage", "soon", 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := p.parseRetryAfter(tc.header)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("%s: parseRetryAfter(%q) = (%s, %v), want (%s, %v)",
+				tc.name, tc.header, got, ok, tc.want, tc.ok)
+		}
 	}
 }
 

@@ -16,12 +16,16 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"acb/internal/bpu"
 	"acb/internal/config"
 	"acb/internal/core"
 	"acb/internal/dmp"
+	"acb/internal/experiments"
+	"acb/internal/isa"
 	"acb/internal/ooo"
+	"acb/internal/sample"
 	"acb/internal/stats"
 	"acb/internal/workload"
 )
@@ -36,6 +40,13 @@ func main() {
 		format    = flag.String("format", "ascii", "output rendering: json | csv | ascii")
 		topN      = flag.Int("top", 10, "print the N most-mispredicting branch PCs")
 		pipe      = flag.Bool("pipestats", false, "collect and print pipeline utilization")
+
+		sampled   = flag.Bool("sampled", false, "SMARTS-style sampled simulation (see docs/SAMPLING.md)")
+		sInterval = flag.Int64("sample-interval", 0, "sampling interval in instructions (0 = scale to budget)")
+		sWarmup   = flag.Int64("sample-warmup", 0, "detailed-but-unmeasured warm-up per window (0 = default)")
+		sMeasure  = flag.Int64("sample-measure", 0, "measured span per window (0 = default)")
+		sVerify   = flag.Bool("sample-verify", false, "diff architectural state against the functional reference at every window boundary")
+		sCompare  = flag.Bool("sample-compare-full", false, "also run the full detailed simulation and report CPI error and speedup")
 	)
 	flag.Parse()
 
@@ -53,39 +64,41 @@ func main() {
 
 	p, m := w.Build()
 
-	var predictor bpu.Predictor
-	switch *predName {
-	case "tage":
-		predictor = bpu.NewTAGE(bpu.DefaultTAGEConfig())
-	case "gshare":
-		predictor = bpu.NewGShare(14, 16)
-	case "bimodal":
-		predictor = bpu.NewBimodal(14)
-	case "perceptron":
-		predictor = bpu.NewPerceptron(10, 32)
-	default:
+	newPredictor := func() bpu.Predictor {
+		if *schemeStr == "perfect" {
+			return bpu.NewOracle()
+		}
+		switch *predName {
+		case "tage":
+			return bpu.NewTAGE(bpu.DefaultTAGEConfig())
+		case "gshare":
+			return bpu.NewGShare(14, 16)
+		case "bimodal":
+			return bpu.NewBimodal(14)
+		case "perceptron":
+			return bpu.NewPerceptron(10, 32)
+		}
 		fail(fmt.Errorf("unknown predictor %q", *predName))
+		return nil
 	}
 
-	var scheme ooo.Scheme
-	var acb *core.ACB
+	var newScheme func() ooo.Scheme
 	switch *schemeStr {
-	case "baseline":
-	case "perfect":
-		predictor = bpu.NewOracle()
+	case "baseline", "perfect":
 	case "acb":
-		acb = core.New(core.DefaultConfig())
-		scheme = acb
+		newScheme = func() ooo.Scheme { return core.New(core.DefaultConfig()) }
 	case "acb-nodynamo":
-		c := core.DefaultConfig()
-		c.UseDynamo = false
-		acb = core.New(c)
-		scheme = acb
+		newScheme = func() ooo.Scheme {
+			c := core.DefaultConfig()
+			c.UseDynamo = false
+			return core.New(c)
+		}
 	case "acb-eager":
-		c := core.DefaultConfig()
-		c.Eager = true
-		acb = core.New(c)
-		scheme = acb
+		newScheme = func() ooo.Scheme {
+			c := core.DefaultConfig()
+			c.Eager = true
+			return core.New(c)
+		}
 	case "dmp", "dmp-pbh", "dhp":
 		mode := dmp.ModeDMP
 		if *schemeStr == "dhp" {
@@ -94,9 +107,39 @@ func main() {
 		c := dmp.DefaultConfig(mode)
 		c.PerfectBranchHistory = *schemeStr == "dmp-pbh"
 		cands := dmp.Profile(p, m, dmp.DefaultProfileConfig())
-		scheme = dmp.New(c, cands)
+		newScheme = func() ooo.Scheme { return dmp.New(c, cands) }
 	default:
 		fail(fmt.Errorf("unknown scheme %q", *schemeStr))
+	}
+
+	if *sampled {
+		plan := sample.PlanForBudget(*budget)
+		if *sInterval > 0 {
+			plan.Interval = *sInterval
+		}
+		if *sWarmup > 0 {
+			plan.Warmup = *sWarmup
+		}
+		if *sMeasure > 0 {
+			plan.Measure = *sMeasure
+		}
+		runSampled(&w, cfg, p, m, plan, sampledOpts{
+			budget:       *budget,
+			newPredictor: newPredictor,
+			newScheme:    newScheme,
+			verify:       *sVerify,
+			compareFull:  *sCompare,
+			format:       *format,
+		})
+		return
+	}
+
+	predictor := newPredictor()
+	var scheme ooo.Scheme
+	var acb *core.ACB
+	if newScheme != nil {
+		scheme = newScheme()
+		acb, _ = scheme.(*core.ACB)
 	}
 
 	simCore := ooo.NewWithMemory(cfg, p, predictor, scheme, m)
@@ -165,6 +208,112 @@ func main() {
 			fmt.Printf("  pc=%-5d count=%-8d mispredict=%-7d predicated=%-7d diverged=%d\n",
 				r.pc, r.st.Count, r.st.Mispredict, r.st.Predicated, r.st.Diverged)
 		}
+	}
+}
+
+type sampledOpts struct {
+	budget       int64
+	newPredictor func() bpu.Predictor
+	newScheme    func() ooo.Scheme
+	verify       bool
+	compareFull  bool
+	format       string
+}
+
+// runSampled performs the SMARTS-style sampled run (and, with
+// -sample-compare-full, the full detailed run it estimates), printing the
+// estimate in the requested format. Window jobs fan out over the
+// experiments worker pool, so a sampled run uses every core even for a
+// single workload.
+func runSampled(w *workload.Workload, cfg config.Core, p []isa.Instruction, m *isa.Memory, plan sample.Plan, o sampledOpts) {
+	opts := sample.Options{
+		Budget:       o.budget,
+		Config:       cfg,
+		NewPredictor: o.newPredictor,
+		NewScheme:    o.newScheme,
+		Verify:       o.verify,
+		Pool: func(n int, run func(i int)) error {
+			return experiments.Pool(experiments.Options{}, n, run)
+		},
+	}
+
+	sampledStart := time.Now()
+	est, err := sample.Run(p, m.Clone(), plan, opts)
+	if err != nil {
+		fail(err)
+	}
+	sampledWall := time.Since(sampledStart)
+
+	var fullCPI float64
+	var fullWall time.Duration
+	if o.compareFull {
+		var scheme ooo.Scheme
+		if o.newScheme != nil {
+			scheme = o.newScheme()
+		}
+		fullStart := time.Now()
+		full := ooo.NewWithMemory(cfg, p, o.newPredictor(), scheme, m)
+		res, err := full.Run(o.budget)
+		if err != nil {
+			fail(err)
+		}
+		fullWall = time.Since(fullStart)
+		fullCPI = float64(res.Cycles) / float64(res.Retired)
+	}
+
+	if o.format != "ascii" {
+		t := stats.NewTable("metric", "value")
+		t.AddRow("workload", w.Name)
+		t.AddRow("config", cfg.Name)
+		t.AddRow("sampled-cpi", fmt.Sprintf("%.6f", est.CPI))
+		t.AddRow("sample-ci95", fmt.Sprintf("%.6f", est.CI95))
+		t.AddRow("sample-windows", len(est.Windows))
+		t.AddRow("sample-interval", plan.Interval)
+		t.AddRow("sample-warmup", plan.Warmup)
+		t.AddRow("sample-measure", plan.Measure)
+		t.AddRow("measured-instrs", est.MeasuredInstrs)
+		t.AddRow("total-instrs", est.TotalInstrs)
+		t.AddRow("est-cycles", est.EstCycles)
+		t.AddRow("boundary-diffs", est.BoundaryFailures)
+		t.AddRow("sampled-wall-ms", sampledWall.Milliseconds())
+		if o.compareFull {
+			t.AddRow("full-cpi", fmt.Sprintf("%.6f", fullCPI))
+			t.AddRow("cpi-error-pct", fmt.Sprintf("%.4f", est.CPIErrorPct(fullCPI)))
+			t.AddRow("full-wall-ms", fullWall.Milliseconds())
+			t.AddRow("sampled-speedup-x", fmt.Sprintf("%.2f", float64(fullWall)/float64(sampledWall)))
+		}
+		if o.format == "json" {
+			b, err := t.MarshalJSON()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(string(b))
+		} else {
+			fmt.Print(t.CSV())
+		}
+		return
+	}
+
+	fmt.Printf("workload      %s (%s) — %s\n", w.Name, w.Category, w.Mirrors)
+	fmt.Printf("config        %s   sampled (interval %d, warmup %d, measure %d)\n",
+		cfg.Name, plan.Interval, plan.Warmup, plan.Measure)
+	fmt.Printf("sampled CPI   %.4f ± %.4f (95%% CI) over %d windows\n", est.CPI, est.CI95, len(est.Windows))
+	fmt.Printf("measured      %d of %d instrs (%.1f%% detailed)   est cycles %d\n",
+		est.MeasuredInstrs, est.TotalInstrs,
+		100*float64(est.MeasuredInstrs)/float64(est.TotalInstrs), est.EstCycles)
+	if o.verify {
+		fmt.Printf("boundaries    %d windows verified, %d diverged\n", len(est.Windows), est.BoundaryFailures)
+		for _, win := range est.Windows {
+			if win.BoundaryDiff != "" {
+				fmt.Printf("  window %d (start %d): %s\n", win.Index, win.Start, win.BoundaryDiff)
+			}
+		}
+	}
+	fmt.Printf("wall          sampled %d ms\n", sampledWall.Milliseconds())
+	if o.compareFull {
+		fmt.Printf("full CPI      %.4f in %d ms — sampled error %+.2f%%, speedup %.1fx\n",
+			fullCPI, fullWall.Milliseconds(), est.CPIErrorPct(fullCPI),
+			float64(fullWall)/float64(sampledWall))
 	}
 }
 

@@ -1,0 +1,133 @@
+package difftest
+
+import (
+	"fmt"
+	"math"
+
+	"acb/internal/bpu"
+	"acb/internal/isa"
+	"acb/internal/ooo"
+	"acb/internal/sample"
+)
+
+// FailBoundary marks a sampled run whose window-boundary architectural
+// state diverged from the functional reference.
+const FailBoundary = "boundary"
+
+// SampledReport is the outcome of one program's sampled-vs-full check: a
+// correctness verdict (window-boundary architectural diffs become
+// Failures) plus the sampled-CPI error as a tracked metric per engine.
+type SampledReport struct {
+	Seed     uint64    `json:"seed"`
+	Steps    int64     `json:"steps"`
+	Failures []Failure `json:"failures,omitempty"`
+	// Engines maps engine name to its sampled-vs-full CPI comparison.
+	Engines map[string]SampledEngine `json:"engines"`
+}
+
+// SampledEngine is one engine's sampled-vs-full comparison.
+type SampledEngine struct {
+	FullCPI    float64 `json:"full_cpi"`
+	SampledCPI float64 `json:"sampled_cpi"`
+	ErrorPct   float64 `json:"error_pct"` // |sampled-full|/full * 100
+	Windows    int     `json:"windows"`
+}
+
+// OK reports whether the sampled check passed.
+func (r *SampledReport) OK() bool { return len(r.Failures) == 0 }
+
+// SampledMatrix returns the engine subset sampled simulation is checked
+// against: the baseline plus the forced-predication engines. Forced
+// schemes are stateless (a per-site spec table), so a window-local scheme
+// instance behaves exactly like the full run's — the transparency
+// obligation carries over window by window. Learning ACB engines are
+// excluded: their tables warm over the whole run, so per-window cold
+// state makes timing (not correctness) diverge by construction.
+func SampledMatrix() []Engine {
+	all, err := MatrixByNames([]string{"baseline", "forced", "forced-eager", "forced-swap"})
+	if err != nil {
+		panic(err)
+	}
+	return all
+}
+
+// CheckSampled runs one generated program both ways — full detailed
+// simulation and SMARTS-style sampled simulation with boundary
+// verification — for every engine in SampledMatrix, recording window
+// boundary divergences as failures and the CPI estimation error as a
+// tracked metric. A program too short for even one measured window under
+// plan is reported with zero windows and no failure.
+func CheckSampled(p *Prog, plan sample.Plan, opts Options) *SampledReport {
+	opts.fill()
+	rep := &SampledReport{Seed: p.Seed, Engines: make(map[string]SampledEngine)}
+
+	asm, err := Assemble(p)
+	if err != nil {
+		rep.Failures = append(rep.Failures, Failure{Engine: "-", Kind: FailAssemble, Detail: err.Error()})
+		return rep
+	}
+	refMem := asm.Mem.Clone()
+	ref := isa.NewArchState(refMem)
+	steps, halted := ref.Run(asm.Insts, asm.StepBound+16)
+	rep.Steps = steps
+	if !halted {
+		rep.Failures = append(rep.Failures, Failure{
+			Engine: "-", Kind: FailNoHalt,
+			Detail: fmt.Sprintf("functional emulator ran %d steps without halting", steps),
+		})
+		return rep
+	}
+
+	for _, e := range SampledMatrix() {
+		eng, fails := runSampledEngine(e, asm, steps, plan, opts)
+		rep.Engines[e.Name] = eng
+		rep.Failures = append(rep.Failures, fails...)
+	}
+	return rep
+}
+
+func runSampledEngine(e Engine, asm *Assembled, steps int64, plan sample.Plan, opts Options) (SampledEngine, []Failure) {
+	var out SampledEngine
+	var fails []Failure
+
+	// Full detailed run: the CPI ground truth.
+	full := ooo.NewWithMemory(opts.CoreCfg, asm.Insts, bpu.NewTAGE(bpu.DefaultTAGEConfig()), e.NewScheme(asm), asm.Mem.Clone())
+	fullRes, err := full.Run(steps + opts.BudgetSlack)
+	if err != nil || !fullRes.Halted {
+		fails = append(fails, Failure{Engine: e.Name, Kind: FailRun,
+			Detail: fmt.Sprintf("full run: halted=%v err=%v", fullRes.Halted, err)})
+		return out, fails
+	}
+	out.FullCPI = float64(fullRes.Cycles) / float64(fullRes.Retired)
+
+	est, err := sample.Run(asm.Insts, asm.Mem, plan, sample.Options{
+		Budget:    steps + opts.BudgetSlack,
+		Config:    opts.CoreCfg,
+		NewScheme: func() ooo.Scheme { return e.NewScheme(asm) },
+		Verify:    true,
+	})
+	if err != nil {
+		// A program ending before the first window's measured span has
+		// nothing to measure; that is a property of the plan, not a bug.
+		if steps <= plan.FirstStart()+plan.Warmup+1 {
+			return out, nil
+		}
+		fails = append(fails, Failure{Engine: e.Name, Kind: FailRun, Detail: "sampled: " + err.Error()})
+		return out, fails
+	}
+	out.SampledCPI = est.CPI
+	out.Windows = len(est.Windows)
+	out.ErrorPct = math.Abs(est.CPIErrorPct(out.FullCPI))
+
+	for _, w := range est.Windows {
+		if w.BoundaryDiff != "" {
+			fails = append(fails, Failure{Engine: e.Name, Kind: FailBoundary,
+				Detail: fmt.Sprintf("window %d (start %d): %s", w.Index, w.Start, w.BoundaryDiff)})
+		}
+	}
+	if est.Halted && est.TotalInstrs != steps {
+		fails = append(fails, Failure{Engine: e.Name, Kind: FailRetired,
+			Detail: fmt.Sprintf("sampled functional pass covered %d steps, reference %d", est.TotalInstrs, steps)})
+	}
+	return out, fails
+}

@@ -35,6 +35,7 @@ var registry = []Experiment{
 	{"power", false, PowerProxy},
 	{"census", false, MispredictCensus},
 	{"cpistack", false, CPIStackExperiment},
+	{"sampled-fig6", true, SampledFig6},
 	{"sens-n", true, SensitivityN},
 	{"sens-epoch", true, SensitivityEpoch},
 	{"sens-acbtable", true, SensitivityACBTable},

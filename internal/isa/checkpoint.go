@@ -1,0 +1,75 @@
+package isa
+
+import "fmt"
+
+// Checkpoint is a cheap architectural snapshot of the functional emulator:
+// the complete register file, the program counter, a copy-on-write memory
+// snapshot, and the number of instructions retired to reach it. It is
+// everything a detailed core needs to start simulating mid-program
+// (ooo.NewFromCheckpoint), which is what makes SMARTS-style sampled
+// simulation possible: fast-forward functionally, checkpoint, and hand
+// disjoint windows to parallel workers. The snapshot's Mem is frozen —
+// consumers must CloneCOW it, never store into it — which is what makes
+// concurrent window jobs over one checkpoint safe.
+type Checkpoint struct {
+	PC      int
+	Regs    [NumRegs]int64
+	Mem     *Memory
+	Retired int64
+}
+
+// Checkpoint captures the state's architectural snapshot. retired is the
+// instruction count the caller has executed to reach this state; it rides
+// along so window schedulers can place the checkpoint on the instruction
+// axis. The state must be backed by a *Memory (the concrete sparse memory),
+// not an arbitrary Mem implementation.
+func (s *ArchState) Checkpoint(retired int64) *Checkpoint {
+	m, ok := s.Mem.(*Memory)
+	if !ok {
+		panic(fmt.Sprintf("isa: Checkpoint needs *Memory-backed state, have %T", s.Mem))
+	}
+	return &Checkpoint{PC: s.PC, Regs: s.Regs, Mem: m.CloneCOW(), Retired: retired}
+}
+
+// Restore returns a fresh ArchState positioned at the checkpoint. The
+// state's memory is a copy-on-write snapshot of the checkpoint's, so its
+// writes never reach the checkpoint (or any sibling restored from it).
+func (ck *Checkpoint) Restore() *ArchState {
+	st := NewArchState(ck.Mem.CloneCOW())
+	st.PC = ck.PC
+	st.Regs = ck.Regs
+	return st
+}
+
+// RunFeed executes until Halt or until maxSteps instructions have executed,
+// like Run, but additionally feeds architectural events to the non-nil
+// callbacks: onBranch receives every conditional branch's (pc, taken)
+// outcome — the feed that functionally warms bpu predictors during
+// fast-forward — and onMem receives every load/store effective address,
+// which sampled simulation uses to keep a cache-warming trace.
+func (s *ArchState) RunFeed(prog []Instruction, maxSteps int64,
+	onBranch func(pc int, taken bool), onMem func(addr int64, store bool)) (steps int64, halted bool) {
+	var res StepResult
+	for steps < maxSteps {
+		s.step(prog, &res)
+		steps++
+		if res.Halted {
+			return steps, true
+		}
+		switch res.Inst.Op {
+		case Br:
+			if onBranch != nil {
+				onBranch(res.PC, res.Taken)
+			}
+		case Load:
+			if onMem != nil {
+				onMem(res.EffAddr, false)
+			}
+		case Store:
+			if onMem != nil {
+				onMem(res.EffAddr, true)
+			}
+		}
+	}
+	return steps, false
+}

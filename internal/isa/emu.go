@@ -13,9 +13,17 @@ type Mem interface {
 	Store(addr, val int64)
 }
 
-// Memory is a sparse, word-addressed functional memory.
+// Memory is a sparse, word-addressed functional memory. Snapshots taken
+// with CloneCOW share pages copy-on-write, so checkpointing a multi-MB
+// image costs one map copy instead of a byte copy.
 type Memory struct {
 	pages map[int64]*[pageWords]int64
+	// owned tracks the pages this memory may write in place. nil means
+	// every page is exclusively owned (a memory that never took part in a
+	// CloneCOW — the common case, with no per-store map lookup beyond it).
+	// Non-nil means pages absent from the set are shared with a COW
+	// sibling and must be copied before the first write.
+	owned map[int64]struct{}
 }
 
 const (
@@ -30,12 +38,17 @@ func NewMemory() *Memory {
 }
 
 // Load reads the 64-bit word containing byte address addr.
+//
+// The page key is the arithmetic shift addr>>pageShift (floor division),
+// so the in-page offset must be the masked remainder addr&(pageBytes-1):
+// a signed addr%pageBytes is negative for negative addresses and indexed
+// the page with a negative slice offset.
 func (m *Memory) Load(addr int64) int64 {
 	page, ok := m.pages[addr>>pageShift]
 	if !ok {
 		return 0
 	}
-	return page[(addr%pageBytes)/8]
+	return page[(addr&(pageBytes-1))/8]
 }
 
 // Store writes the 64-bit word containing byte address addr.
@@ -45,8 +58,18 @@ func (m *Memory) Store(addr, val int64) {
 	if !ok {
 		page = new([pageWords]int64)
 		m.pages[idx] = page
+		if m.owned != nil {
+			m.owned[idx] = struct{}{}
+		}
+	} else if m.owned != nil {
+		if _, own := m.owned[idx]; !own {
+			cp := *page
+			page = &cp
+			m.pages[idx] = page
+			m.owned[idx] = struct{}{}
+		}
 	}
-	page[(addr%pageBytes)/8] = val
+	page[(addr&(pageBytes-1))/8] = val
 }
 
 // Clone returns a deep copy of the memory.
@@ -55,6 +78,31 @@ func (m *Memory) Clone() *Memory {
 	for idx, page := range m.pages {
 		cp := *page
 		c.pages[idx] = &cp
+	}
+	return c
+}
+
+// CloneCOW returns a copy-on-write snapshot: the clone shares every page
+// with the receiver, and whichever side writes a shared page first copies
+// it privately. O(resident pages) map work instead of O(bytes), which is
+// what makes per-window checkpointing affordable for multi-MB footprints.
+//
+// Taking the snapshot marks all of the receiver's pages shared, so it
+// briefly mutates the receiver; concurrent CloneCOW calls are safe only on
+// a memory that is never stored to after its own snapshot was taken (e.g.
+// a Checkpoint's frozen image, whose owned set stays empty).
+func (m *Memory) CloneCOW() *Memory {
+	c := &Memory{
+		pages: make(map[int64]*[pageWords]int64, len(m.pages)),
+		owned: make(map[int64]struct{}),
+	}
+	for idx, page := range m.pages {
+		c.pages[idx] = page
+	}
+	if m.owned == nil {
+		m.owned = make(map[int64]struct{})
+	} else if len(m.owned) > 0 {
+		clear(m.owned)
 	}
 	return c
 }
@@ -93,6 +141,9 @@ func (m *Memory) DiffWords(o *Memory, max int) []MemDiff {
 	var out []MemDiff
 	for _, idx := range idxs {
 		pa, pb := m.pages[idx], o.pages[idx]
+		if pa == pb {
+			continue // COW-shared (or both absent): identical by construction
+		}
 		if pa == nil {
 			pa = &zero
 		}
@@ -198,11 +249,19 @@ type StepResult struct {
 // Step functionally executes the instruction at the current PC and advances
 // the state. It returns the architectural effects of the instruction.
 func (s *ArchState) Step(prog []Instruction) StepResult {
+	var res StepResult
+	s.step(prog, &res)
+	return res
+}
+
+// step is Step writing into a caller-owned result, so the Run/RunFeed hot
+// loops reuse one StepResult instead of copying ~80 bytes per instruction.
+func (s *ArchState) step(prog []Instruction, res *StepResult) {
 	if s.PC < 0 || s.PC >= len(prog) {
 		panic(fmt.Sprintf("isa: PC %d out of range [0,%d)", s.PC, len(prog)))
 	}
 	in := &prog[s.PC]
-	res := StepResult{Inst: in, PC: s.PC, NextPC: s.PC + 1}
+	*res = StepResult{Inst: in, PC: s.PC, NextPC: s.PC + 1}
 	switch in.Op {
 	case Nop:
 	case Halt:
@@ -243,15 +302,15 @@ func (s *ArchState) Step(prog []Instruction) StepResult {
 		s.Regs[in.Rd] = res.Value
 	}
 	s.PC = res.NextPC
-	return res
 }
 
 // Run executes until Halt or until maxSteps instructions have retired,
 // returning the number of instructions executed and whether the program
 // halted.
 func (s *ArchState) Run(prog []Instruction, maxSteps int64) (steps int64, halted bool) {
+	var res StepResult
 	for steps < maxSteps {
-		res := s.Step(prog)
+		s.step(prog, &res)
 		steps++
 		if res.Halted {
 			return steps, true

@@ -161,3 +161,24 @@ func (h *Hierarchy) StoreCommit(addr int64) {
 	}
 	h.LLC.Access(addr)
 }
+
+// Clone returns an independent deep copy of the cache — tag state, LRU
+// stamps and counters. Sampled simulation warms one hierarchy continuously
+// during functional fast-forward and hands each parallel window a clone of
+// the state at its start.
+func (c *Cache) Clone() *Cache {
+	cp := *c
+	cp.tags = append([]uint64(nil), c.tags...)
+	cp.lru = append([]uint64(nil), c.lru...)
+	return &cp
+}
+
+// Clone returns an independent deep copy of the hierarchy.
+func (h *Hierarchy) Clone() *Hierarchy {
+	return &Hierarchy{
+		L1D:         h.L1D.Clone(),
+		L2:          h.L2.Clone(),
+		LLC:         h.LLC.Clone(),
+		DRAMLatency: h.DRAMLatency,
+	}
+}

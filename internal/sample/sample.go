@@ -1,0 +1,439 @@
+// Package sample implements SMARTS-style sampled simulation: instead of
+// running every instruction through the cycle-accurate core, a run is
+// partitioned into fast-forward / warm-up / measure intervals. The
+// fast-forward phase executes on the trusted internal/isa functional
+// emulator (the difftest oracle), which checkpoints architectural state at
+// each window start, functionally warms the branch predictor with every
+// resolved branch outcome, and continuously warms a cache hierarchy with
+// every load/store address (each window receives a clone of the warmed tag
+// state). Each window is then an independent job — a detailed core
+// restored from its checkpoint (ooo.NewFromCheckpoint), a
+// detailed-but-unmeasured warm-up to hide the remaining cold start, and a
+// measured span — so windows fan out over the experiments worker pool (and
+// through it the acbd cluster). Per-window CPIs aggregate into a point
+// estimate with normal-approximation confidence intervals.
+//
+// Approximations (see docs/SAMPLING.md): wrong-path history and cache
+// pollution are not modeled during warming, and predication schemes start
+// each window with cold learning state — sampled CPI is therefore
+// validated against full runs for the baseline core, with scheme warming
+// an open item.
+package sample
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"acb/internal/bpu"
+	"acb/internal/config"
+	"acb/internal/isa"
+	"acb/internal/mem"
+	"acb/internal/ooo"
+)
+
+// Plan describes the interval structure of a sampled run, in retired
+// instructions. Every Interval instructions a window opens: the detailed
+// core warms (unmeasured) for Warmup instructions and then measures
+// Measure instructions; everything else is fast-forwarded functionally.
+type Plan struct {
+	// Interval is the sampling period: window k starts at
+	// Offset + k*Interval.
+	Interval int64
+	// Offset positions the first window inside the first interval. The
+	// zero value means Interval/2 — centering windows keeps the program's
+	// cold-start transient out of window 0, which would otherwise carry
+	// 1/n of the sample weight for a phase the full run amortizes over
+	// the whole budget. Negative means start at instruction 0.
+	Offset int64
+	// Warmup is the detailed-but-unmeasured span at the head of each
+	// window (hides the cold pipeline/cache transient of a checkpointed
+	// start).
+	Warmup int64
+	// Measure is the measured span per window.
+	Measure int64
+	// MaxWindows caps the number of windows (0 = no cap).
+	MaxWindows int
+	// NoCacheWarming disables continuous cache warming: window cores then
+	// start with cold caches (warm-up must absorb the whole transient).
+	// For measurement of the warming contribution, not production use.
+	NoCacheWarming bool
+}
+
+// DefaultPlan returns the interval scheme used by the sampled experiments:
+// a 7% detailed fraction (2k warm-up + 5k measured every 100k) that keeps
+// CPI error within the documented bound on the workload suite.
+func DefaultPlan() Plan {
+	return Plan{Interval: 100_000, Warmup: 2_000, Measure: 5_000}
+}
+
+// PlanForBudget scales the interval scheme to the run length: the interval
+// is budget/20 (so a run always yields ~20 windows — enough for the CI95
+// machinery to mean something) clamped to [15k, 500k]. The warm-up stays
+// at DefaultPlan's 2k regardless of interval — shorter warm-ups leave a
+// measurable cold-start bias, and longer ones buy nothing once caches and
+// pipeline have converged — and the measured span is interval/20 clamped
+// to [3k, 5k]: below 3k per-window noise dominates, and past 5k extra
+// width buys little because the estimate's variance is driven by the
+// window count (see the calibration sweep in docs/SAMPLING.md). Short
+// budgets therefore trade speedup for accuracy (detailed fraction 33% at
+// the 15k floor, 7% at 100k, 1.4% at the 500k cap).
+func PlanForBudget(budget int64) Plan {
+	interval := budget / 20
+	if interval < 15_000 {
+		interval = 15_000
+	}
+	if interval > 500_000 {
+		interval = 500_000
+	}
+	measure := interval / 20
+	if measure < 3_000 {
+		measure = 3_000
+	}
+	if measure > 5_000 {
+		measure = 5_000
+	}
+	return Plan{Interval: interval, Warmup: 2_000, Measure: measure}
+}
+
+func (p *Plan) fill() error {
+	if p.Interval <= 0 {
+		p.Interval = DefaultPlan().Interval
+	}
+	if p.Measure <= 0 {
+		p.Measure = DefaultPlan().Measure
+	}
+	if p.Warmup < 0 {
+		p.Warmup = 0
+	}
+	if p.Offset == 0 {
+		p.Offset = p.Interval / 2
+	} else if p.Offset < 0 {
+		p.Offset = 0
+	}
+	if p.Warmup+p.Measure > p.Interval {
+		return fmt.Errorf("sample: warmup %d + measure %d exceed interval %d", p.Warmup, p.Measure, p.Interval)
+	}
+	return nil
+}
+
+// FirstStart returns the instruction index where the plan's first window
+// begins (after defaulting), so callers can tell whether a program is long
+// enough to yield any window at all.
+func (p Plan) FirstStart() int64 {
+	if err := p.fill(); err != nil {
+		return 0
+	}
+	return p.Offset
+}
+
+// PoolFunc fans jobs 0..n-1 out to workers; each job writes only its own
+// slot, so any implementation that runs every index exactly once is safe.
+// The experiments package's Pool matches this shape — wire it in to reuse
+// the bounded worker pool (and its runner accounting); the default is a
+// serial loop, which callers already inside a pool job should keep.
+type PoolFunc func(n int, run func(i int)) error
+
+// Options configures a sampled run.
+type Options struct {
+	// Budget is the retired-instruction budget (like ooo.Core.Run's); the
+	// run covers min(Budget, instructions-to-halt) instructions.
+	Budget int64
+	// Config is the core configuration (zero = config.Skylake()).
+	Config config.Core
+	// NewPredictor builds the predictor warmed during fast-forward and
+	// cloned per window; it must return a bpu.Cloner (all built-in
+	// predictors are). Default: TAGE.
+	NewPredictor func() bpu.Predictor
+	// NewScheme builds a fresh predication scheme per window (nil = plain
+	// speculation baseline). Windows do not share scheme state.
+	NewScheme func() ooo.Scheme
+	// Verify diffs each window's end-of-window architectural state (regs +
+	// committed memory) against a functional reference advanced to the
+	// same retired count, recording any divergence in Window.BoundaryDiff.
+	Verify bool
+	// Pool runs the window jobs (see PoolFunc). Nil = serial.
+	Pool PoolFunc
+	// Context cancels the run cooperatively.
+	Context context.Context
+}
+
+func (o *Options) fill() {
+	if o.Budget <= 0 {
+		o.Budget = 400_000
+	}
+	if o.Config.ROBSize == 0 {
+		o.Config = config.Skylake()
+	}
+	if o.NewPredictor == nil {
+		o.NewPredictor = func() bpu.Predictor { return bpu.NewTAGE(bpu.DefaultTAGEConfig()) }
+	}
+	if o.Pool == nil {
+		o.Pool = func(n int, run func(i int)) error {
+			for i := 0; i < n; i++ {
+				run(i)
+			}
+			return nil
+		}
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
+	}
+}
+
+// Window is one measured interval of a sampled run.
+type Window struct {
+	Index int
+	// Start is the retired-instruction index where the detailed warm-up
+	// begins (k*Interval).
+	Start int64
+	// Warmup and Measure are the planned spans, clipped at program end.
+	Warmup  int64
+	Measure int64
+	// Result holds the measured span's statistics (deltas; see
+	// ooo.Core.RunWindow).
+	Result ooo.Result
+	// CPI is Result.Cycles / Result.Retired.
+	CPI float64
+	// BoundaryDiff is non-empty when Options.Verify found the window's
+	// end-of-window architectural state diverging from the functional
+	// reference.
+	BoundaryDiff string
+}
+
+// Estimate is the outcome of a sampled run.
+type Estimate struct {
+	Windows []Window
+	// TotalInstrs is the functional instruction count the run covers
+	// (min(budget, instructions-to-halt)).
+	TotalInstrs int64
+	Halted      bool
+	// MeasuredInstrs / MeasuredCycles sum the measured spans.
+	MeasuredInstrs int64
+	MeasuredCycles int64
+	// CPI is the instruction-weighted point estimate over windows.
+	CPI float64
+	// CPIStdErr is the standard error of the per-window CPI mean, and CI95
+	// its 1.96σ half-width — the normal-approximation 95% confidence
+	// interval on CPI (0 when fewer than 2 windows).
+	CPIStdErr float64
+	CI95      float64
+	// EstCycles extrapolates total cycles: CPI * TotalInstrs.
+	EstCycles int64
+	// BoundaryFailures counts windows whose BoundaryDiff is non-empty.
+	BoundaryFailures int
+}
+
+// window carries the per-window fast-forward products to its job.
+type window struct {
+	start   int64
+	ckpt    *isa.Checkpoint
+	pred    bpu.Predictor
+	hier    *mem.Hierarchy
+	warmup  int64
+	measure int64
+}
+
+// Run performs a sampled simulation of the program and returns the CPI
+// estimate. The image is cloned, never mutated.
+func Run(prog []isa.Instruction, image *isa.Memory, plan Plan, opts Options) (*Estimate, error) {
+	if err := plan.fill(); err != nil {
+		return nil, err
+	}
+	opts.fill()
+	if image == nil {
+		image = isa.NewMemory()
+	}
+
+	// Phase 1 — functional fast-forward: one sequential pass that warms
+	// the predictor with every resolved branch and the cache hierarchy
+	// with every load/store address, checkpointing both (plus the
+	// architectural state) at each window start.
+	warm := opts.NewPredictor()
+	cloner, ok := warm.(bpu.Cloner)
+	if !ok {
+		return nil, fmt.Errorf("sample: predictor %s does not support cloning (bpu.Cloner)", warm.Name())
+	}
+	arch := isa.NewArchState(image.CloneCOW())
+	onBranch := func(pc int, taken bool) { bpu.Warm(warm, uint64(pc), taken) }
+	var onMem func(addr int64, store bool)
+	var warmHier *mem.Hierarchy
+	if !plan.NoCacheWarming {
+		warmHier = mem.NewHierarchy(opts.Config.Mem)
+		onMem = func(addr int64, store bool) {
+			if store {
+				warmHier.StoreCommit(addr)
+			} else {
+				warmHier.LoadLatency(addr)
+			}
+		}
+	}
+
+	var wins []*window
+	pos := int64(0)
+	halted := false
+	for k := 0; ; k++ {
+		if plan.MaxWindows > 0 && k >= plan.MaxWindows {
+			break
+		}
+		start := plan.Offset + int64(k)*plan.Interval
+		if start >= opts.Budget {
+			break
+		}
+		if start > pos {
+			steps, h := arch.RunFeed(prog, start-pos, onBranch, onMem)
+			pos += steps
+			if h {
+				halted = true
+				break
+			}
+		}
+		w := &window{
+			start: start,
+			ckpt:  arch.Checkpoint(pos),
+			pred:  cloner.Clone(),
+		}
+		if warmHier != nil {
+			w.hier = warmHier.Clone()
+		}
+		wins = append(wins, w)
+	}
+	// Finish the functional pass to learn the run's true extent.
+	if !halted && pos < opts.Budget {
+		steps, h := arch.RunFeed(prog, opts.Budget-pos, nil, nil)
+		pos += steps
+		halted = h
+	}
+	total := pos
+
+	// Clip windows at the run's end and drop those with nothing to
+	// measure.
+	live := wins[:0]
+	for _, w := range wins {
+		w.warmup = plan.Warmup
+		w.measure = plan.Measure
+		if w.start+w.warmup >= total {
+			continue
+		}
+		if w.start+w.warmup+w.measure > total {
+			w.measure = total - w.start - w.warmup
+		}
+		live = append(live, w)
+	}
+	wins = live
+	if len(wins) == 0 {
+		return nil, fmt.Errorf("sample: no measurable window in %d instructions (interval %d, warmup %d)",
+			total, plan.Interval, plan.Warmup)
+	}
+
+	// Phase 2 — detailed windows, each an independent job. Each job writes
+	// only its own result/error slot, so any pool that runs every index
+	// exactly once is race-free.
+	results := make([]Window, len(wins))
+	errs := make([]error, len(wins))
+	poolErr := opts.Pool(len(wins), func(i int) {
+		w := wins[i]
+		var scheme ooo.Scheme
+		if opts.NewScheme != nil {
+			scheme = opts.NewScheme()
+		}
+		c := ooo.NewFromCheckpoint(opts.Config, prog, w.pred, scheme, w.ckpt)
+		if w.hier != nil {
+			c.SetHierarchy(w.hier)
+		}
+		res, err := c.RunWindow(opts.Context, w.warmup, w.measure)
+		if err != nil {
+			errs[i] = fmt.Errorf("sample: window %d (start %d): %w", i, w.start, err)
+			return
+		}
+		out := Window{Index: i, Start: w.start, Warmup: w.warmup, Measure: w.measure, Result: res}
+		if res.Retired > 0 {
+			out.CPI = float64(res.Cycles) / float64(res.Retired)
+		}
+		if opts.Verify {
+			out.BoundaryDiff = boundaryDiff(prog, w.ckpt, c, &res)
+		}
+		results[i] = out
+	})
+	if poolErr != nil {
+		return nil, poolErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	return aggregate(results, total, halted), nil
+}
+
+// boundaryDiff replays the functional reference from the window's
+// checkpoint to the core's exact retired count and reports any
+// architectural divergence (registers, then committed memory). Retirement
+// counts architecturally-useful instructions only, so the functional
+// reference lands on the same instruction even under predication schemes.
+func boundaryDiff(prog []isa.Instruction, ckpt *isa.Checkpoint, c *ooo.Core, res *ooo.Result) string {
+	ref := ckpt.Restore()
+	ref.Run(prog, c.Retired())
+	for r := 0; r < isa.NumRegs; r++ {
+		if res.FinalRegs[r] != ref.Regs[r] {
+			return fmt.Sprintf("r%d = %#x, functional reference has %#x (boundary %d)",
+				r, res.FinalRegs[r], ref.Regs[r], ckpt.Retired+c.Retired())
+		}
+	}
+	refMem := ref.Mem.(*isa.Memory)
+	if diffs := c.CommitMemory().DiffWords(refMem, 3); len(diffs) > 0 {
+		var d []string
+		for _, w := range diffs {
+			d = append(d, fmt.Sprintf("[%#x]=%#x want %#x", w.Addr, w.A, w.B))
+		}
+		return fmt.Sprintf("memory diverges at boundary %d: %s", ckpt.Retired+c.Retired(), strings.Join(d, ", "))
+	}
+	return ""
+}
+
+// aggregate folds window results into the point estimate.
+func aggregate(windows []Window, total int64, halted bool) *Estimate {
+	est := &Estimate{Windows: windows, TotalInstrs: total, Halted: halted}
+	cpis := make([]float64, 0, len(windows))
+	for i := range windows {
+		w := &windows[i]
+		est.MeasuredInstrs += w.Result.Retired
+		est.MeasuredCycles += w.Result.Cycles
+		if w.Result.Retired > 0 {
+			cpis = append(cpis, w.CPI)
+		}
+		if w.BoundaryDiff != "" {
+			est.BoundaryFailures++
+		}
+	}
+	if est.MeasuredInstrs > 0 {
+		est.CPI = float64(est.MeasuredCycles) / float64(est.MeasuredInstrs)
+	}
+	if n := len(cpis); n >= 2 {
+		mean := 0.0
+		for _, x := range cpis {
+			mean += x
+		}
+		mean /= float64(n)
+		varSum := 0.0
+		for _, x := range cpis {
+			varSum += (x - mean) * (x - mean)
+		}
+		sd := math.Sqrt(varSum / float64(n-1))
+		est.CPIStdErr = sd / math.Sqrt(float64(n))
+		est.CI95 = 1.96 * est.CPIStdErr
+	}
+	est.EstCycles = int64(est.CPI * float64(total))
+	return est
+}
+
+// CPIErrorPct returns the signed relative error of the sampled CPI against
+// a full-run CPI, in percent.
+func (e *Estimate) CPIErrorPct(fullCPI float64) float64 {
+	if fullCPI == 0 {
+		return 0
+	}
+	return (e.CPI - fullCPI) / fullCPI * 100
+}

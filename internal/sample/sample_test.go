@@ -1,0 +1,193 @@
+package sample
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"acb/internal/bpu"
+	"acb/internal/config"
+	"acb/internal/core"
+	"acb/internal/isa"
+	"acb/internal/ooo"
+	"acb/internal/prog"
+	"acb/internal/workload"
+)
+
+func buildWorkload(t *testing.T, name string) ([]isa.Instruction, *isa.Memory) {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatalf("workload %s: %v", name, err)
+	}
+	return w.Build()
+}
+
+func fullCPI(t *testing.T, prog []isa.Instruction, image *isa.Memory, budget int64) float64 {
+	t.Helper()
+	pred := bpu.NewTAGE(bpu.DefaultTAGEConfig())
+	c := ooo.NewWithMemory(config.Skylake(), prog, pred, nil, image.Clone())
+	res, err := c.Run(budget)
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	return float64(res.Cycles) / float64(res.Retired)
+}
+
+func TestSampledCPIWithinBound(t *testing.T) {
+	for _, name := range []string{"perlbench", "gcc", "mcf"} {
+		t.Run(name, func(t *testing.T) {
+			prog, image := buildWorkload(t, name)
+			budget := int64(300_000)
+			full := fullCPI(t, prog, image, budget)
+
+			plan := Plan{Interval: 30_000, Warmup: 2_000, Measure: 5_000}
+			est, err := Run(prog, image, plan, Options{Budget: budget, Verify: true})
+			if err != nil {
+				t.Fatalf("sampled run: %v", err)
+			}
+			if est.BoundaryFailures != 0 {
+				for _, w := range est.Windows {
+					if w.BoundaryDiff != "" {
+						t.Errorf("window %d (start %d): %s", w.Index, w.Start, w.BoundaryDiff)
+					}
+				}
+				t.Fatalf("%d window-boundary architectural diffs", est.BoundaryFailures)
+			}
+			if est.TotalInstrs != budget && !est.Halted {
+				t.Fatalf("TotalInstrs = %d, want %d (or halt)", est.TotalInstrs, budget)
+			}
+			errPct := est.CPIErrorPct(full)
+			if errPct < 0 {
+				errPct = -errPct
+			}
+			t.Logf("%s: full CPI %.4f, sampled %.4f ± %.4f (%d windows), err %.2f%%",
+				name, full, est.CPI, est.CI95, len(est.Windows), errPct)
+			if errPct > 10 {
+				t.Errorf("CPI error %.2f%% exceeds 10%% sanity bound", errPct)
+			}
+		})
+	}
+}
+
+// buildHaltingLoop assembles a branchy loop that halts after roughly
+// iters*8 instructions, for tests that need a program with a real end.
+func buildHaltingLoop(iters int64) ([]isa.Instruction, *isa.Memory) {
+	b := prog.NewBuilder()
+	b.MovI(isa.R1, iters)
+	b.MovI(isa.R3, 0)
+	b.MovI(isa.R7, 0)
+	b.Label("loop")
+	b.AndI(isa.R4, isa.R3, 7)
+	b.Brz(isa.R4, "skip")
+	b.AddI(isa.R7, isa.R7, 3)
+	b.Label("skip")
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Sub(isa.R8, isa.R3, isa.R1)
+	b.Brnz(isa.R8, "loop")
+	b.Halt()
+	return b.MustBuild(), isa.NewMemory()
+}
+
+func TestWindowsClipAtHalt(t *testing.T) {
+	prog, image := buildHaltingLoop(8_000) // halts around 50k instructions
+	// Budget far beyond the program so the run halts; windows past the
+	// halt must be dropped, the straddling one clipped.
+	plan := Plan{Interval: 10_000, Warmup: 500, Measure: 2_000}
+	est, err := Run(prog, image, plan, Options{Budget: 100_000_000, Verify: true})
+	if err != nil {
+		t.Fatalf("sampled run: %v", err)
+	}
+	if !est.Halted {
+		t.Fatalf("expected halt within budget")
+	}
+	if est.BoundaryFailures != 0 {
+		t.Fatalf("%d boundary failures on halting run", est.BoundaryFailures)
+	}
+	for _, w := range est.Windows {
+		if w.Start+w.Warmup+w.Measure > est.TotalInstrs {
+			t.Errorf("window %d spans [%d,%d) past program end %d",
+				w.Index, w.Start, w.Start+w.Warmup+w.Measure, est.TotalInstrs)
+		}
+	}
+}
+
+func TestParallelPoolMatchesSerial(t *testing.T) {
+	prog, image := buildWorkload(t, "gcc")
+	plan := Plan{Interval: 20_000, Warmup: 1_000, Measure: 3_000}
+	opts := Options{Budget: 200_000}
+
+	serial, err := Run(prog, image, plan, opts)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+
+	opts.Pool = func(n int, run func(i int)) error {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) { defer wg.Done(); run(i) }(i)
+		}
+		wg.Wait()
+		return nil
+	}
+	par, err := Run(prog, image, plan, opts)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+
+	if serial.CPI != par.CPI || serial.MeasuredCycles != par.MeasuredCycles ||
+		serial.MeasuredInstrs != par.MeasuredInstrs || len(serial.Windows) != len(par.Windows) {
+		t.Fatalf("parallel pool changed results: serial CPI %.6f/%d cycles, parallel %.6f/%d",
+			serial.CPI, serial.MeasuredCycles, par.CPI, par.MeasuredCycles)
+	}
+	for i := range serial.Windows {
+		a, b := serial.Windows[i].Result, par.Windows[i].Result
+		if a.Cycles != b.Cycles || a.Retired != b.Retired || a.Flushes != b.Flushes ||
+			a.Mispredicts != b.Mispredicts || a.FinalRegs != b.FinalRegs {
+			t.Errorf("window %d differs between serial and parallel pools", i)
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	prog, image := buildWorkload(t, "perlbench")
+	_, err := Run(prog, image, Plan{Interval: 1_000, Warmup: 800, Measure: 500}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "exceed interval") {
+		t.Fatalf("expected interval-validation error, got %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	prog, image := buildWorkload(t, "gcc")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(prog, image, DefaultPlan(), Options{Budget: 300_000, Context: ctx})
+	if err == nil {
+		t.Fatalf("expected cancellation error")
+	}
+}
+
+func TestSampledWithScheme(t *testing.T) {
+	// Predication schemes run per-window with cold state; the run must
+	// still be architecturally transparent at every boundary.
+	prog, image := buildWorkload(t, "perlbench")
+	plan := Plan{Interval: 25_000, Warmup: 1_000, Measure: 4_000}
+	est, err := Run(prog, image, plan, Options{
+		Budget:    200_000,
+		NewScheme: func() ooo.Scheme { return core.New(core.DefaultConfig()) },
+		Verify:    true,
+	})
+	if err != nil {
+		t.Fatalf("sampled ACB run: %v", err)
+	}
+	if est.BoundaryFailures != 0 {
+		for _, w := range est.Windows {
+			if w.BoundaryDiff != "" {
+				t.Errorf("window %d: %s", w.Index, w.BoundaryDiff)
+			}
+		}
+		t.Fatalf("%d boundary failures under ACB scheme", est.BoundaryFailures)
+	}
+}
