@@ -9,7 +9,16 @@
 // A worker is a normal daemon whose result store peer-fetches by key
 // from the shard owning it; a coordinator fronts the fleet with the
 // same job API plus batch submission, streaming results and aggregated
-// metrics. Client mode submits one experiment to a running daemon or
+// metrics. With -journal the coordinator write-ahead-logs every
+// placement and completion and replays it on restart; a second
+// coordinator started with -standby <primary-url> tails that journal
+// over HTTP and promotes itself — at a higher fencing epoch — when the
+// primary goes silent:
+//
+//	acbd serve -role coordinator -node cb -standby http://ca:8315 \
+//	    -peers w1=http://h1:8315,w2=http://h2:8315 -journal /var/lib/acbd/cb.journal
+//
+// Client mode submits one experiment to a running daemon or
 // coordinator and (with -wait) polls it to completion:
 //
 //	acbd submit -addr http://localhost:8315 -experiment fig6 -workloads lammps,gobmk -wait -format ascii
@@ -72,6 +81,7 @@ func usage() {
               [-addr :8315] [-store-dir DIR] [-store-cap N] [-journal FILE] [-queue N] [-workers N] [-jobs N]
               [-timeout D] [-max-timeout D] [-retries N] [-drain-timeout D] [-debug-addr :6060]
               [-probe-interval D] [-poll-interval D] [-dead-after N]
+              [-standby PRIMARY_URL] [-lease FILE]
               [-fault-spec SPEC] [-fault-seed N]
   acbd submit [-addr URL] -experiment NAME [-workloads a,b] [-budget N] [-config NAME] [-timeout D]
               [-wait] [-format json|csv|ascii] [-submit-retries N]
@@ -121,6 +131,8 @@ func serve(args []string) error {
 		probeIvl   = fs.Duration("probe-interval", 500*time.Millisecond, "coordinator: worker heartbeat period")
 		pollIvl    = fs.Duration("poll-interval", 250*time.Millisecond, "coordinator: job reconcile/steal period")
 		deadAfter  = fs.Int("dead-after", 3, "coordinator: consecutive failed probes before a worker is declared dead")
+		standbyURL = fs.String("standby", "", "coordinator: run as a warm standby tailing this primary's journal; promotes when its heartbeats lapse")
+		leasePth   = fs.String("lease", "", "coordinator: fsync'd fencing-epoch lease file (default: <journal>.lease when -journal is set)")
 		faultSpec  = fs.String("fault-spec", "", "fault-injection rules, e.g. 'store.persist:error,prob=0.2;rpc.w2:error,nth=3,after=20,limit=10' (chaos testing only)")
 		faultSeed  = fs.Int64("fault-seed", 1, "seed for probabilistic fault injection (reproducible chaos)")
 		verbose    = fs.Bool("v", false, "per-job progress on stderr")
@@ -173,14 +185,67 @@ func serve(args []string) error {
 		if inj != nil {
 			ccfg.Faults = inj
 		}
+		if *leasePth == "" && *journalPth != "" {
+			*leasePth = *journalPth + ".lease"
+		}
+		lease, err := cluster.OpenLease(*leasePth, *node)
+		if err != nil {
+			return err
+		}
+		if inj != nil {
+			lease.SetFaults(inj)
+		}
+
+		if *standbyURL != "" {
+			stb, err := cluster.NewStandby(cluster.StandbyConfig{
+				Primary:     strings.TrimRight(*standbyURL, "/"),
+				JournalPath: *journalPth,
+				Lease:       lease,
+				Cluster:     ccfg,
+				Store:       store,
+			})
+			if err != nil {
+				return err
+			}
+			stb.Start()
+			fmt.Fprintf(os.Stderr, "acbd: standby coordinator %s tailing %s\n", *node, *standbyURL)
+			return listenAndDrain(*addr, *debug, *drain, stb.Handler(), stb.Shutdown,
+				fmt.Sprintf("standby-for=%q journal=%q", *standbyURL, *journalPth))
+		}
+
+		// Primary: every start claims a fresh, higher epoch. With -lease
+		// the epoch is fsync'd and survives restarts; without it fencing
+		// only orders coordinators within one process lifetime.
+		if err := lease.Advance(lease.Epoch() + 1); err != nil {
+			return fmt.Errorf("lease: %w", err)
+		}
+		ccfg.Epoch = lease.Epoch()
+		if *journalPth != "" {
+			journal, replay, err := cluster.OpenJournal(*journalPth)
+			if err != nil {
+				return fmt.Errorf("cluster journal: %w", err)
+			}
+			if inj != nil {
+				journal.SetFaults(inj)
+			}
+			ccfg.Journal = journal
+			ccfg.Replay = replay
+			if len(replay) > 0 {
+				fmt.Fprintf(os.Stderr, "acbd: cluster journal %s: replaying %d job(s)\n",
+					*journalPth, len(replay))
+			}
+		}
 		coord, err := cluster.New(ccfg, store)
 		if err != nil {
 			return err
 		}
 		coord.Start()
-		fmt.Fprintf(os.Stderr, "acbd: coordinator %s over %d workers\n", *node, len(members))
+		fmt.Fprintf(os.Stderr, "acbd: coordinator %s over %d workers (epoch %d)\n", *node, len(members), ccfg.Epoch)
 		return listenAndDrain(*addr, *debug, *drain, cluster.NewServer(coord).Handler(),
-			coord.Shutdown, fmt.Sprintf("store-dir=%q workers=%d queue=%d", *storeDir, len(members), *queue))
+			coord.Shutdown, fmt.Sprintf("store-dir=%q workers=%d queue=%d epoch=%d", *storeDir, len(members), *queue, ccfg.Epoch))
+	}
+	if *standbyURL != "" || *leasePth != "" {
+		return errors.New("-standby and -lease require -role coordinator")
 	}
 
 	cfg := service.SchedulerConfig{
@@ -238,7 +303,17 @@ func serve(args []string) error {
 	sched := service.NewScheduler(cfg, store)
 	ssrv := service.NewServer(sched)
 	ssrv.SetNode(*node)
-	return listenAndDrain(*addr, *debug, *drain, ssrv.Handler(), sched.Shutdown,
+	handler := ssrv.Handler()
+	if *role == "worker" {
+		// The epoch fence: coordinator RPCs carry X-Acbd-Epoch; anything
+		// below the highest epoch seen here is rejected 409, which is what
+		// keeps a fenced-out old primary from mutating this worker after a
+		// failover. Readiness dips until the new coordinator reconciles us.
+		fence := cluster.NewFence()
+		ssrv.AddReadyCheck(fence.Ready)
+		handler = fence.Middleware(handler)
+	}
+	return listenAndDrain(*addr, *debug, *drain, handler, sched.Shutdown,
 		fmt.Sprintf("store-dir=%q workers=%d queue=%d", *storeDir, *workers, *queue))
 }
 

@@ -24,6 +24,7 @@ type testNode struct {
 	name  string
 	sched *service.Scheduler
 	store *service.Store
+	fence *Fence
 	ts    *httptest.Server
 }
 
@@ -47,7 +48,14 @@ func startWorkers(t *testing.T, names []string, cfg service.SchedulerConfig, fau
 		sched := service.NewScheduler(wcfg, store)
 		srv := service.NewServer(sched)
 		srv.SetNode(name)
-		nodes[name] = &testNode{name: name, sched: sched, store: store, ts: httptest.NewServer(srv.Handler())}
+		// Production workers run behind the epoch fence (cmd/acbd wires it
+		// for -role worker); the fleet here does too so every cluster test
+		// exercises the pass-through path and failover tests can assert on
+		// adopted epochs.
+		fence := NewFence()
+		srv.AddReadyCheck(fence.Ready)
+		nodes[name] = &testNode{name: name, sched: sched, store: store, fence: fence,
+			ts: httptest.NewServer(fence.Middleware(srv.Handler()))}
 	}
 	members := make(map[string]string, len(nodes))
 	for name, n := range nodes {

@@ -58,6 +58,24 @@ type Config struct {
 	// VNodes is the ring's virtual-node count per worker (default 64).
 	VNodes int
 
+	// Journal is the cluster write-ahead log (nil = not journaled).
+	// Every placement, dispatch, steal, completion and membership
+	// transition is appended before the in-memory job table mutates.
+	Journal *Journal
+	// Replay is the job set recovered from the journal at open, restored
+	// into the table before the control loop starts: terminal jobs come
+	// back queryable, placed jobs are re-probed via reconcile rather than
+	// re-run, and unplaced jobs re-enter dispatch.
+	Replay []ReplayedJob
+	// Epoch is the coordinator's fencing epoch, stamped on every RPC.
+	// Workers reject RPCs below the highest epoch they have seen, which
+	// is what keeps a stale primary harmless after a failover (0 = not
+	// clustered for fencing; nothing is stamped).
+	Epoch uint64
+	// Promoted marks a coordinator born from a standby takeover (counts
+	// acbd_failovers_total).
+	Promoted bool
+
 	// Faults wires the rpc / rpc.<node> partition points (nil = none).
 	Faults service.FaultPoints
 	// Logf receives operational logs (default: discard).
@@ -150,13 +168,16 @@ type JobStatus struct {
 // dispatch/reconcile/steal/probe transitions, so those never race each
 // other; client-facing methods only read or flag state under the mutex.
 type Coordinator struct {
-	cfg    Config
-	client *Client
-	store  *service.Store
+	cfg     Config
+	client  *Client
+	store   *service.Store
+	journal *Journal
+	epoch   uint64
 
 	counters *stats.Counters
 
 	mu       sync.Mutex
+	fenced   bool // a higher-epoch coordinator exists; stand down
 	members  map[string]*member
 	ring     *Ring // live members only; rebuilt on liveness change
 	jobs     map[string]*cjob
@@ -193,6 +214,8 @@ func New(cfg Config, store *service.Store) (*Coordinator, error) {
 		cfg:         cfg,
 		client:      NewClient(cfg.RPCTimeout, cfg.Faults),
 		store:       store,
+		journal:     cfg.Journal,
+		epoch:       cfg.Epoch,
 		counters:    stats.NewCounters(),
 		members:     make(map[string]*member),
 		jobs:        make(map[string]*cjob),
@@ -214,8 +237,117 @@ func New(cfg Config, store *service.Store) (*Coordinator, error) {
 	// The coordinator's store fills from whichever worker has a key, so
 	// GET /v1/results/{key} works for any completed job, wherever it ran.
 	store.SetPeers(c.fetchEnvelope, cfg.RPCTimeout)
+	if cfg.Epoch > 0 {
+		// Stamp the fencing epoch on every RPC; a 409 carrying a higher
+		// epoch means another coordinator has taken over — stand down.
+		c.client.SetEpoch(cfg.Epoch, c.onStaleEpoch)
+	}
+	if cfg.Promoted {
+		c.counters.Add("failovers", 1)
+	}
+	if len(cfg.Replay) > 0 {
+		c.counters.Add("journal_replays", 1)
+		c.restoreReplay(cfg.Replay)
+	}
 	return c, nil
 }
+
+// onStaleEpoch is the client's fencing hook: some worker has seen a
+// higher coordinator epoch, meaning a standby promoted past us. Stop
+// touching the fleet — every mutation would bounce with 409 anyway —
+// and report not-ready so clients move to the new primary.
+func (c *Coordinator) onStaleEpoch(higher uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fenced {
+		return
+	}
+	c.fenced = true
+	c.counters.Add("fenced", 1)
+	c.cfg.Logf("cluster: fenced: epoch %d superseded by %d; standing down", c.epoch, higher)
+}
+
+// restoreReplay rebuilds the job table from journal replay. Terminal
+// jobs are restored closed (status queries across a restart keep
+// working); non-terminal jobs whose result is already in the local
+// store complete on the spot; the rest re-enter the table with their
+// journaled placement, where reconcile re-probes the assigned worker
+// — observing the result of work that kept running through the
+// coordinator outage — instead of blindly re-running it.
+func (c *Coordinator) restoreReplay(replay []ReplayedJob) {
+	now := time.Now()
+	for _, rj := range replay {
+		var n int64
+		if _, err := fmt.Sscanf(rj.ID, "c%d", &n); err == nil && n > c.nextID {
+			c.nextID = n
+		}
+		job := &cjob{
+			id:       rj.ID,
+			key:      rj.Key,
+			req:      rj.Request,
+			worker:   rj.Worker,
+			remoteID: rj.RemoteID,
+			assigns:  rj.Assigns,
+			stolen:   rj.Stolen,
+			state:    service.JobQueued,
+			created:  now,
+			done:     make(chan struct{}),
+		}
+		c.jobs[job.id] = job
+		c.order = append(c.order, job.id)
+		c.counters.Add("replayed", 1)
+		switch {
+		case terminalState(rj.State):
+			job.state = rj.State
+			job.err, job.errKind = rj.Err, rj.ErrKind
+			job.finished = now
+			close(job.done)
+			c.terminal++
+			if rj.State == service.JobDone && rj.Worker != "" {
+				c.noteCompletedLocked(rj.Key, rj.Worker)
+			}
+		default:
+			if _, cached := c.store.GetLocal(rj.Key); cached {
+				// The result landed before the crash; the journal just
+				// missed the terminal record. Close it out, durably.
+				job.worker, job.remoteID = "", ""
+				c.byKey[job.key] = job
+				c.counters.Add("cache_hits", 1)
+				c.finishLocked(job, service.JobDone, "", "")
+				continue
+			}
+			c.byKey[job.key] = job
+		}
+	}
+	c.evictLocked()
+}
+
+// jlog counts a failed journal append. The append already happened (or
+// failed) before the state transition; a failing journal degrades
+// durability, not availability, and the metric is the alarm.
+func (c *Coordinator) jlog(err error) {
+	if err != nil {
+		c.counters.Add("journal_errors", 1)
+		c.cfg.Logf("cluster: journal append: %v", err)
+	}
+}
+
+// Epoch returns the coordinator's fencing epoch (0 = unfenced setup).
+func (c *Coordinator) Epoch() uint64 { return c.epoch }
+
+// Fenced reports whether a higher-epoch coordinator has taken over.
+func (c *Coordinator) Fenced() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fenced
+}
+
+// Journal returns the cluster journal (nil when not journaled).
+func (c *Coordinator) Journal() *Journal { return c.journal }
+
+// Done is closed when the coordinator shuts down (stream handlers hang
+// off it).
+func (c *Coordinator) Done() <-chan struct{} { return c.stopCh }
 
 // Start launches the control loop.
 func (c *Coordinator) Start() {
@@ -240,7 +372,10 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 	go func() { c.wg.Wait(); close(doneCh) }()
 	select {
 	case <-doneCh:
-		return nil
+		// No terminal records are written here: for the journal, shutdown
+		// is a crash, and replay + worker reconciliation is the recovery
+		// path either way.
+		return c.journal.Close()
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -260,6 +395,8 @@ func (c *Coordinator) Ready() (bool, string) {
 	switch {
 	case c.closed:
 		return false, "shutting down"
+	case c.fenced:
+		return false, fmt.Sprintf("fenced: a newer coordinator (epoch > %d) has taken over", c.epoch)
 	case !c.probed:
 		return false, "first probe round pending"
 	case c.aliveLocked() == 0:
@@ -326,7 +463,7 @@ func (c *Coordinator) Submit(req service.Request) (JobStatus, bool, error) {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
+	if c.closed || c.fenced {
 		return JobStatus{}, false, service.ErrShuttingDown
 	}
 	if prior := c.byKey[key]; prior != nil {
@@ -345,6 +482,8 @@ func (c *Coordinator) Submit(req service.Request) (JobStatus, bool, error) {
 		c.nextID++
 		c.counters.Add("submitted", 1)
 		c.counters.Add("cache_hits", 1)
+		c.jlog(c.journal.Submit(job.id, key, req))
+		c.jlog(c.journal.Terminal(job.id, service.JobDone, "", ""))
 		job.state = service.JobDone
 		job.cacheHit = true
 		job.finished = job.created
@@ -360,6 +499,7 @@ func (c *Coordinator) Submit(req service.Request) (JobStatus, bool, error) {
 	}
 	c.nextID++
 	c.counters.Add("submitted", 1)
+	c.jlog(c.journal.Submit(job.id, key, req))
 	job.state = service.JobQueued
 	c.jobs[job.id] = job
 	c.byKey[key] = job
@@ -502,11 +642,15 @@ func (c *Coordinator) statusLocked(job *cjob) JobStatus {
 	return st
 }
 
-// finishLocked moves a job to a terminal state exactly once.
+// finishLocked moves a job to a terminal state exactly once. The
+// terminal record hits the journal before the transition takes effect,
+// so a crash between the two replays the job as still in flight —
+// at-least-once journaling, made exactly-once by content-addressing.
 func (c *Coordinator) finishLocked(job *cjob, state service.JobState, errMsg, errKind string) {
 	if terminalState(job.state) {
 		return
 	}
+	c.jlog(c.journal.Terminal(job.id, state, errMsg, errKind))
 	job.state = state
 	job.err = errMsg
 	job.errKind = errKind
@@ -608,6 +752,9 @@ func (c *Coordinator) applyRemoteLocked(job *cjob, rst service.JobStatus) {
 
 // unassignLocked returns an assigned job to the dispatchable pool.
 func (c *Coordinator) unassignLocked(job *cjob) {
+	if job.worker != "" {
+		c.jlog(c.journal.Unassign(job.id))
+	}
 	job.worker, job.remoteID = "", ""
 	job.state = service.JobQueued
 	job.remoteDone = false
@@ -648,6 +795,9 @@ func (c *Coordinator) run() {
 // transitions: DeadAfter consecutive failures kill a worker (its jobs
 // are re-hashed); one success revives it.
 func (c *Coordinator) probe() {
+	if c.Fenced() {
+		return
+	}
 	c.mu.Lock()
 	targets := make([]*member, 0, len(c.members))
 	for _, m := range c.members {
@@ -666,7 +816,9 @@ func (c *Coordinator) probe() {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
 			defer cancel()
-			err := c.client.do(ctx, name, http.MethodGet, url+"/v1/healthz", nil, nil)
+			// Retries ride inside ProbeTimeout: a blip doesn't count as a
+			// failed round, but a dead worker still fails the round on time.
+			err := c.client.doIdempotent(ctx, name, http.MethodGet, url+"/v1/healthz", nil, nil)
 			rmu.Lock()
 			results[name] = err == nil
 			rmu.Unlock()
@@ -685,6 +837,7 @@ func (c *Coordinator) probe() {
 				m.alive = true
 				changed = true
 				c.counters.Add("worker_joined", 1)
+				c.jlog(c.journal.Member(name, true))
 				c.cfg.Logf("cluster: worker %s alive", name)
 			}
 			continue
@@ -694,6 +847,7 @@ func (c *Coordinator) probe() {
 			m.alive = false
 			changed = true
 			c.counters.Add("worker_dead", 1)
+			c.jlog(c.journal.Member(name, false))
 			c.cfg.Logf("cluster: worker %s dead after %d failed probes", name, m.fails)
 			c.rehashDeadLocked(name)
 		}
@@ -725,7 +879,7 @@ func (c *Coordinator) rehashDeadLocked(name string) {
 // dispatch places every unassigned queued job on its ring owner.
 func (c *Coordinator) dispatch() {
 	c.mu.Lock()
-	if c.closed {
+	if c.closed || c.fenced {
 		c.mu.Unlock()
 		return
 	}
@@ -788,6 +942,11 @@ func (c *Coordinator) assign(job *cjob, worker, url string, steal bool) {
 	if terminalState(job.state) || job.cancel || job.worker != "" {
 		return // cancelled or re-placed while the RPC was in flight
 	}
+	stolen := job.stolen
+	if steal {
+		stolen++
+	}
+	c.jlog(c.journal.Assign(job.id, worker, sr.ID, job.assigns+1, stolen, steal))
 	job.worker = worker
 	job.remoteID = sr.ID
 	job.assigns++
@@ -804,6 +963,9 @@ func (c *Coordinator) assign(job *cjob, worker, url string, steal bool) {
 // states into cluster jobs; lost jobs (a worker that restarted without
 // its journal) requeue, and unconfirmed cancels are re-issued.
 func (c *Coordinator) reconcile() {
+	if c.Fenced() {
+		return
+	}
 	c.mu.Lock()
 	byWorker := make(map[string][]*cjob)
 	urls := c.liveURLsLocked()
@@ -819,16 +981,18 @@ func (c *Coordinator) reconcile() {
 		job                   *cjob
 	}
 	var dels []delTarget
-	for worker, assigned := range byWorker {
-		url := urls[worker]
-		if url == "" {
-			continue // dead: probe handles the rehash
-		}
+	// Every live worker is listed, not just those holding assignments:
+	// the listing doubles as the epoch-fence re-registration handshake
+	// (a worker that adopted a new coordinator epoch reports not-ready
+	// until the coordinator has seen its job table), so idle workers
+	// must be reconciled too.
+	for worker, url := range urls {
+		assigned := byWorker[worker]
 		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RPCTimeout)
 		var list struct {
 			Jobs []service.JobStatus `json:"jobs"`
 		}
-		err := c.client.do(ctx, worker, http.MethodGet, url+"/v1/jobs", nil, &list)
+		err := c.client.doIdempotent(ctx, worker, http.MethodGet, url+"/v1/jobs", nil, &list)
 		cancel()
 		if err != nil {
 			c.counters.Add("rpc_errors", 1)
@@ -882,6 +1046,9 @@ func (c *Coordinator) reconcile() {
 // the straggler's most recently queued job and resubmits it to the idle
 // worker. One steal per idle worker per round keeps the churn bounded.
 func (c *Coordinator) steal() {
+	if c.Fenced() {
+		return
+	}
 	c.mu.Lock()
 	urls := c.liveURLsLocked()
 	queuedBy := make(map[string][]*cjob)
@@ -961,6 +1128,7 @@ func (c *Coordinator) steal() {
 			c.mu.Unlock()
 			continue
 		}
+		c.jlog(c.journal.Unassign(job.id))
 		job.worker, job.remoteID = "", ""
 		c.mu.Unlock()
 		c.assign(job, thief, urls[thief], true)
@@ -977,6 +1145,9 @@ func (c *Coordinator) steal() {
 // content-addressing make the rerun byte-identical, so nothing is
 // double-counted.
 func (c *Coordinator) warmResults() {
+	if c.Fenced() {
+		return
+	}
 	c.mu.Lock()
 	var pend []*cjob
 	for _, job := range c.jobs {
@@ -986,6 +1157,7 @@ func (c *Coordinator) warmResults() {
 	}
 	c.mu.Unlock()
 	sort.Slice(pend, func(i, j int) bool { return pend[i].id < pend[j].id })
+	var landed []string
 	for _, job := range pend {
 		_, ok := c.store.Get(job.key)
 		c.mu.Lock()
@@ -995,6 +1167,7 @@ func (c *Coordinator) warmResults() {
 		case ok:
 			c.counters.Add("results_warmed", 1)
 			c.finishLocked(job, service.JobDone, "", "")
+			landed = append(landed, job.key)
 		default:
 			job.fetchTries++
 			if job.fetchTries >= 3 {
@@ -1004,6 +1177,44 @@ func (c *Coordinator) warmResults() {
 			}
 		}
 		c.mu.Unlock()
+	}
+	for _, key := range landed {
+		c.replicate(key)
+	}
+}
+
+// replicate pushes a freshly landed result envelope to the key's ring
+// owner and successor (RF=2 across the worker fleet, on top of the
+// coordinator's own copy), skipping the shard that completed it — that
+// one already has the result on disk. Losing any single node after
+// this point loses no result: the peer-fetch path falls back to the
+// successor when the owner is gone. Failures are counted, not retried;
+// the coordinator's copy already satisfies the done ⇒ durable
+// handshake, and the next peer fetch self-heals the replica.
+func (c *Coordinator) replicate(key string) {
+	env, ok := c.store.Envelope(key)
+	if !ok {
+		c.counters.Add("replica_errors", 1)
+		return
+	}
+	c.mu.Lock()
+	urls := c.liveURLsLocked()
+	completer := c.completedOn[key]
+	owners := c.ring.Owners(key, 2)
+	c.mu.Unlock()
+	for _, name := range owners {
+		if name == completer || urls[name] == "" {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RPCTimeout)
+		err := c.client.putBytes(ctx, name, urls[name]+"/v1/store/"+key, env)
+		cancel()
+		if err != nil {
+			c.counters.Add("replica_errors", 1)
+			c.cfg.Logf("cluster: replicate %.12s to %s: %v", key, name, err)
+			continue
+		}
+		c.counters.Add("replicated", 1)
 	}
 }
 
@@ -1020,9 +1231,10 @@ func (c *Coordinator) liveURLsLocked() map[string]string {
 
 // fetchEnvelope is the coordinator store's peer tier: candidates are
 // the worker that completed the key (authoritative for stolen and
-// rehashed jobs), then the ring owner, then the rest of the live fleet.
-// First hit wins; all-404 is a clean miss; a miss with transport errors
-// reports the first error so the store counts it.
+// rehashed jobs), then the ring owner and its successor (the RF=2
+// replica holder), then the rest of the live fleet. First hit wins;
+// all-404 is a clean miss; a miss with transport errors reports the
+// first error so the store counts it.
 func (c *Coordinator) fetchEnvelope(ctx context.Context, key string) ([]byte, error) {
 	c.mu.Lock()
 	urls := c.liveURLsLocked()
@@ -1035,7 +1247,7 @@ func (c *Coordinator) fetchEnvelope(ctx context.Context, key string) ([]byte, er
 		}
 	}
 	add(c.completedOn[key])
-	if owner, ok := c.ring.Owner(key); ok {
+	for _, owner := range c.ring.Owners(key, 2) {
 		add(owner)
 	}
 	rest := make([]string, 0, len(urls))
@@ -1050,7 +1262,7 @@ func (c *Coordinator) fetchEnvelope(ctx context.Context, key string) ([]byte, er
 
 	var firstErr error
 	for _, name := range cands {
-		b, err := c.client.getBytes(ctx, name, urls[name]+"/v1/store/"+key)
+		b, err := c.client.getBytesIdempotent(ctx, name, urls[name]+"/v1/store/"+key)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err

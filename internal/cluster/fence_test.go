@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+)
+
+// TestFenceEpochProtocol walks the worker-side fence through the whole
+// epoch lifecycle: headerless pass-through, first adoption, the
+// not-ready window until the new coordinator lists jobs, and the 409
+// fencing of a stale coordinator with the current epoch echoed back.
+func TestFenceEpochProtocol(t *testing.T) {
+	f := NewFence()
+	var backendHits int
+	h := f.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		backendHits++
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	send := func(path string, epoch uint64) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		if epoch > 0 {
+			req.Header.Set(EpochHeader, strconv.FormatUint(epoch, 10))
+		}
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		return rr
+	}
+
+	// Never clustered: no header, everything passes, readyz unaffected.
+	if rr := send("/v1/jobs/abc", 0); rr.Code != http.StatusOK {
+		t.Fatalf("headerless request fenced: %d", rr.Code)
+	}
+	if ok, _ := f.Ready(); !ok {
+		t.Fatal("fence not ready before any epoch")
+	}
+
+	// A coordinator at epoch 2 appears: adopted, but the worker is
+	// re-registering (not ready) until that coordinator lists its jobs.
+	if rr := send("/v1/healthz", 2); rr.Code != http.StatusOK {
+		t.Fatalf("adopting probe rejected: %d", rr.Code)
+	}
+	if f.Epoch() != 2 {
+		t.Fatalf("epoch %d after adoption, want 2", f.Epoch())
+	}
+	if ok, reason := f.Ready(); ok || reason == "" {
+		t.Fatalf("ready=(%v,%q) before reconciliation, want not-ready with reason", ok, reason)
+	}
+	if rr := send("/v1/jobs", 2); rr.Code != http.StatusOK {
+		t.Fatalf("reconcile listing rejected: %d", rr.Code)
+	}
+	if ok, _ := f.Ready(); !ok {
+		t.Fatal("fence still not ready after the coordinator listed jobs")
+	}
+
+	// The old primary (epoch 1) comes back from its partition: fenced
+	// with 409 and told the current epoch.
+	rr := send("/v1/jobs", 1)
+	if rr.Code != http.StatusConflict {
+		t.Fatalf("stale epoch passed: %d", rr.Code)
+	}
+	if got := rr.Header().Get(EpochHeader); got != "2" {
+		t.Errorf("409 echoed epoch %q, want 2", got)
+	}
+	if f.Rejected() != 1 {
+		t.Errorf("rejected = %d, want 1", f.Rejected())
+	}
+	hitsBefore := backendHits
+	send("/v1/jobs", 1)
+	if backendHits != hitsBefore {
+		t.Error("fenced request still reached the backend")
+	}
+
+	// Garbage epochs are a client bug, not a fence decision.
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs", nil)
+	req.Header.Set(EpochHeader, "zero")
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusBadRequest {
+		t.Errorf("bad epoch header: %d, want 400", rr.Code)
+	}
+}

@@ -45,6 +45,7 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/results:stream", srv.handleStream)
 	mux.HandleFunc("GET /v1/store/{key}", srv.handleGetEnvelope)
 	mux.HandleFunc("GET /v1/cluster", srv.handleCluster)
+	mux.HandleFunc("GET /v1/journal:stream", srv.handleJournalStream)
 	mux.HandleFunc("GET /v1/metrics", srv.handleMetrics)
 	return mux
 }
@@ -245,9 +246,73 @@ func (srv *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"node":    srv.coord.cfg.Node,
+		"role":    "primary",
+		"epoch":   srv.coord.Epoch(),
+		"fenced":  srv.coord.Fenced(),
 		"alive":   alive,
 		"members": members,
 	})
+}
+
+// handleJournalStream serves the cluster journal as NDJSON: a meta line
+// carrying the coordinator's identity and epoch, every journal record
+// from the head, then a live tail with heartbeat lines during silence.
+// This is the standby's replication feed — by tailing it, a standby
+// holds the same record sequence the primary has on disk and can
+// promote from its local copy the moment the stream (and the
+// heartbeats within it) stops.
+func (srv *Server) handleJournalStream(w http.ResponseWriter, r *http.Request) {
+	j := srv.coord.Journal()
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("cluster: coordinator runs without a journal"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	meta := fmt.Sprintf("{\"meta\":true,\"epoch\":%d,\"node\":%q,\"version\":%q}\n",
+		srv.coord.Epoch(), srv.coord.cfg.Node, JournalVersion)
+	if _, err := fmt.Fprint(w, meta); err != nil {
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	hb := srv.coord.cfg.ProbeInterval
+	from := 0
+	for {
+		recs, next, updated := j.Snapshot(from)
+		from = next
+		for _, rec := range recs {
+			if _, err := w.Write(append(rec, '\n')); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		hbT := time.NewTimer(hb)
+		select {
+		case <-r.Context().Done():
+			hbT.Stop()
+			return
+		case <-srv.coord.Done():
+			hbT.Stop()
+			return
+		case <-updated:
+			hbT.Stop()
+		case <-hbT.C:
+			// Liveness signal: a standby distinguishes "idle primary" from
+			// "dead primary" by these, not by journal traffic.
+			if _, err := fmt.Fprint(w, "{\"hb\":true}\n"); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
 }
 
 // handleStream emits NDJSON job statuses in completion order: one
@@ -376,6 +441,10 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, name := range c.counters.Names() {
 		fmt.Fprintf(&b, "acbd_cluster_events_total{event=%q} %d\n", name, c.counters.Get(name))
 	}
+	fmt.Fprintf(&b, "# HELP acbd_failovers_total Standby-to-primary promotions this process has performed.\n# TYPE acbd_failovers_total counter\n")
+	fmt.Fprintf(&b, "acbd_failovers_total %d\n", c.counters.Get("failovers"))
+	fmt.Fprintf(&b, "# HELP acbd_journal_replays_total Journal replays performed at startup (nonzero after a crash-restart or failover recovery).\n# TYPE acbd_journal_replays_total counter\n")
+	fmt.Fprintf(&b, "acbd_journal_replays_total %d\n", c.counters.Get("journal_replays"))
 	fmt.Fprintf(&b, "# HELP acbd_cluster_scrape_up Whether this exposition includes the worker's series (0 = dead or scrape failed).\n# TYPE acbd_cluster_scrape_up gauge\n")
 	for i, m := range members {
 		up := 0

@@ -91,6 +91,32 @@ func (r *Ring) Owner(key string) (string, bool) {
 	return r.points[i].node, true
 }
 
+// Owners returns the first n distinct nodes clockwise of key's point:
+// Owners(key, 1) is the owner, and Owners(key, 2)[1] — when the ring
+// has two members — is the successor shard that carries the key's
+// replica under the cluster's RF=2 result replication. Fewer than n
+// members returns them all.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for j := 0; j < len(r.points) && len(out) < n; j++ {
+		p := r.points[(i+j)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
 // Nodes returns the member names, sorted.
 func (r *Ring) Nodes() []string { return r.nodes }
 

@@ -79,6 +79,60 @@ func TestRingStability(t *testing.T) {
 	}
 }
 
+// TestRingOwners: the replica chain starts at the owner, never repeats
+// a node, clamps to the member count, and is deterministic — the
+// properties RF=2 result replication and successor peer-fetch rest on.
+func TestRingOwners(t *testing.T) {
+	r := NewRing(0, "w1", "w2", "w3")
+	for i := 0; i < 512; i++ {
+		k := hexKey(i)
+		owner, _ := r.Owner(k)
+		chain := r.Owners(k, 2)
+		if len(chain) != 2 {
+			t.Fatalf("key %s: Owners(2) = %v", k, chain)
+		}
+		if chain[0] != owner {
+			t.Fatalf("key %s: chain starts at %s, Owner says %s", k, chain[0], owner)
+		}
+		if chain[1] == chain[0] {
+			t.Fatalf("key %s: replica on the same node %v", k, chain)
+		}
+		if again := r.Owners(k, 2); again[0] != chain[0] || again[1] != chain[1] {
+			t.Fatalf("key %s: Owners not deterministic: %v vs %v", k, chain, again)
+		}
+	}
+	// Successors spread: w1's keys must not all replicate to one node.
+	succ := make(map[string]int)
+	for i := 0; i < 1000; i++ {
+		chain := r.Owners(hexKey(i), 2)
+		if chain[0] == "w1" {
+			succ[chain[1]]++
+		}
+	}
+	if len(succ) < 2 {
+		t.Errorf("all of w1's replicas landed on one node: %v", succ)
+	}
+	// Clamps: more replicas than members returns them all, once each;
+	// n<=0 and the empty ring return nothing.
+	all := r.Owners(hexKey(1), 5)
+	if len(all) != 3 {
+		t.Fatalf("Owners(5) on 3 nodes = %v", all)
+	}
+	seen := map[string]bool{}
+	for _, n := range all {
+		if seen[n] {
+			t.Fatalf("Owners(5) repeats %s: %v", n, all)
+		}
+		seen[n] = true
+	}
+	if got := r.Owners(hexKey(1), 0); got != nil {
+		t.Errorf("Owners(0) = %v, want nil", got)
+	}
+	if got := NewRing(0).Owners(hexKey(1), 2); got != nil {
+		t.Errorf("empty ring Owners = %v, want nil", got)
+	}
+}
+
 // TestRingEdges: empty ring owns nothing; single node owns everything;
 // duplicates and empty names collapse; non-hex keys still resolve.
 func TestRingEdges(t *testing.T) {

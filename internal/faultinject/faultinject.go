@@ -5,6 +5,12 @@
 // seed — whether each call fails, panics, or stalls. Points without a
 // rule cost one map lookup and never fire, so production code keeps its
 // hooks permanently wired and a nil *Injector disables everything.
+//
+// Wired points, by layer: store.persist / store.load / store.peer (the
+// result store's tiers), worker / worker.slow (job runs),
+// journal.append (the single-node job journal), rpc and rpc.<node>
+// (the cluster RPC fabric — partitions), cjournal.append (the cluster
+// coordinator's journal) and lease.advance (the fencing-epoch lease).
 package faultinject
 
 import (

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -26,12 +27,21 @@ import (
 //	GET    /v1/healthz       liveness
 //	GET    /v1/readyz        readiness (503 + Retry-After during journal replay and drain)
 type Server struct {
-	sched *Scheduler
-	node  string
+	sched       *Scheduler
+	node        string
+	readyChecks []func() (bool, string)
 }
 
 // NewServer returns a server over sched.
 func NewServer(sched *Scheduler) *Server { return &Server{sched: sched} }
+
+// AddReadyCheck registers an extra readiness gate consulted by
+// /v1/readyz after the scheduler's own (e.g. the cluster epoch fence:
+// a worker that adopted a new coordinator epoch is not ready until the
+// new coordinator has reconciled it). Call before Handler is serving.
+func (srv *Server) AddReadyCheck(check func() (ok bool, reason string)) {
+	srv.readyChecks = append(srv.readyChecks, check)
+}
 
 // Scheduler returns the underlying scheduler.
 func (srv *Server) Scheduler() *Scheduler { return srv.sched }
@@ -57,6 +67,7 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", srv.handleCancelJob)
 	mux.HandleFunc("GET /v1/results/{key}", srv.handleGetResult)
 	mux.HandleFunc("GET /v1/store/{key}", srv.handleGetEnvelope)
+	mux.HandleFunc("PUT /v1/store/{key}", srv.handlePutEnvelope)
 	mux.HandleFunc("GET /v1/metrics", srv.handleMetrics)
 	return mux
 }
@@ -84,9 +95,18 @@ func (srv *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleReadyz is the load-balancer signal, distinct from liveness: the
 // process is up (healthz 200) but must not receive traffic while the
-// journal is replaying or a drain is in progress.
+// journal is replaying, a drain is in progress, or any registered
+// readiness gate (the cluster epoch fence) objects.
 func (srv *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if ok, reason := srv.sched.Ready(); !ok {
+	ok, reason := srv.sched.Ready()
+	if ok {
+		for _, check := range srv.readyChecks {
+			if ok, reason = check(); !ok {
+				break
+			}
+		}
+	}
+	if !ok {
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready", "reason": reason})
 		return
@@ -202,6 +222,25 @@ func (srv *Server) handleGetEnvelope(w http.ResponseWriter, r *http.Request) {
 	w.Write(b)
 }
 
+// handlePutEnvelope accepts a replicated stored-result envelope (the
+// cluster coordinator's RF=2 push after a job completes elsewhere). The
+// envelope is validated against its key and written through verbatim,
+// so the replica file is byte-identical to the original; replaying the
+// same PUT is a no-op by content-addressing.
+func (srv *Server) handlePutEnvelope(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	b, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: reading envelope: %w", err))
+		return
+	}
+	if err := srv.sched.Store().PutEnvelope(key, b); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "stored", "key": key})
+}
+
 // handleMetrics emits Prometheus text exposition (version 0.0.4).
 // Monotonic series follow the naming convention: every `*_total` name is
 // declared `# TYPE ... counter` (tested by TestMetricsExposition).
@@ -231,6 +270,12 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// to the acbd_events_total{event="retried"} series above.
 	counter("acbd_job_retries_total", "Transiently failed runs put back on the queue with backoff.",
 		c.Get("retried"))
+	// Same for journal replays: nonzero means this node recovered from a
+	// crash, which operators alert on. HELP must stay identical to the
+	// coordinator's emission of the same family or expo.Merge rejects the
+	// cluster-wide scrape.
+	counter("acbd_journal_replays_total", "Journal replays performed at startup (nonzero after a crash-restart or failover recovery).",
+		c.Get("journal_replays"))
 
 	hits, misses := srv.sched.Store().Stats()
 	fmt.Fprintf(&b, "# HELP acbd_store_lookups_total Result-store lookups.\n# TYPE acbd_store_lookups_total counter\n")

@@ -1,14 +1,10 @@
 package service
 
 import (
-	"bufio"
 	"encoding/json"
-	"errors"
-	"fmt"
-	"os"
-	"path/filepath"
-	"sync"
 	"time"
+
+	"acb/internal/wal"
 )
 
 // JournalVersion is the first line of every journal file. Bump it when
@@ -17,8 +13,10 @@ import (
 const JournalVersion = "acbd-journal/1"
 
 // ErrJournalVersion reports a journal written under a different format
-// version.
-var ErrJournalVersion = errors.New("service: journal version mismatch")
+// version. It is the shared wal engine's version error: the journal is
+// a thin client over internal/wal, which owns the file format, fsync
+// discipline, torn-tail replay and compaction.
+var ErrJournalVersion = wal.ErrVersion
 
 // Journal is the scheduler's write-ahead log: an append-only JSONL file,
 // fsync'd per record, holding every job's submit/start/requeue/terminal
@@ -28,11 +26,11 @@ var ErrJournalVersion = errors.New("service: journal version mismatch")
 //
 // Append-path durability is deliberate: Submit is acknowledged to the
 // client only after its journal record is on disk, which is what makes
-// "a 201 response means the job survives kill -9" true.
+// "a 201 response means the job survives kill -9" true. The mechanics
+// live in internal/wal; this type owns only the entry vocabulary and
+// the replay reduction.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
+	log *wal.Log
 }
 
 // journalEntry is one JSONL record. Op is one of submit | start |
@@ -48,11 +46,6 @@ type journalEntry struct {
 	// Terminal payload.
 	Err  string    `json:"err,omitempty"`
 	Time time.Time `json:"t,omitempty"`
-}
-
-// journalHeader is the version line.
-type journalHeader struct {
-	Version string `json:"version"`
 }
 
 // ReplayJob is one crash survivor recovered from a journal: a job that
@@ -78,82 +71,31 @@ type ReplayJob struct {
 // journal exists to survive — ends replay silently; everything before it
 // is intact because each record was fsync'd before the next began.
 func OpenJournal(path string) (*Journal, []ReplayJob, error) {
-	pending, err := replayJournal(path)
+	recs, err := wal.Replay(path, JournalVersion)
 	if err != nil {
 		return nil, nil, err
 	}
-	// Compact: rewrite header + one submit record per survivor, then
-	// swap atomically. A crash inside compaction leaves either the old
-	// or the new file, both valid.
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return nil, nil, fmt.Errorf("service: journal compact: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	enc := json.NewEncoder(tmp)
-	if err := enc.Encode(journalHeader{Version: JournalVersion}); err != nil {
-		tmp.Close()
-		return nil, nil, err
-	}
+	pending := reduceJournal(recs)
+	// Compact: header + one submit record per survivor. An interrupted
+	// job's in-flight run is already folded into Attempt, so a bare
+	// submit record carries it through compaction without re-bumping on
+	// the next replay.
+	survivors := make([]interface{}, 0, len(pending))
 	for _, rj := range pending {
 		req := rj.Request
-		// An interrupted job's in-flight run is already folded into
-		// Attempt, so a bare submit record carries it through compaction
-		// without re-bumping on the next replay.
-		e := journalEntry{Op: "submit", ID: rj.ID, Key: rj.Key, Request: &req,
-			Attempt: rj.Attempt, Time: time.Now().UTC()}
-		if err := enc.Encode(e); err != nil {
-			tmp.Close()
-			return nil, nil, err
-		}
+		survivors = append(survivors, journalEntry{Op: "submit", ID: rj.ID, Key: rj.Key,
+			Request: &req, Attempt: rj.Attempt, Time: time.Now().UTC()})
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return nil, nil, err
-	}
-	if err := tmp.Close(); err != nil {
-		return nil, nil, err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return nil, nil, err
-	}
-	if err := syncDir(filepath.Dir(path)); err != nil {
-		return nil, nil, err
-	}
-
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	log, err := wal.Create(path, JournalVersion, survivors)
 	if err != nil {
-		return nil, nil, fmt.Errorf("service: journal open: %w", err)
+		return nil, nil, err
 	}
-	return &Journal{f: f, path: path}, pending, nil
+	return &Journal{log: log}, pending, nil
 }
 
-// replayJournal reads the journal at path and reduces it to the jobs
-// with no terminal record, in submission order. A missing file is an
-// empty journal.
-func replayJournal(path string) ([]ReplayJob, error) {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("service: journal replay: %w", err)
-	}
-	defer f.Close()
-
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
-	if !sc.Scan() {
-		return nil, sc.Err() // empty file: fresh journal
-	}
-	var hdr journalHeader
-	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Version == "" {
-		return nil, fmt.Errorf("service: journal %s: malformed header %q", path, sc.Text())
-	}
-	if hdr.Version != JournalVersion {
-		return nil, fmt.Errorf("%w: file %q, this build %q", ErrJournalVersion, hdr.Version, JournalVersion)
-	}
-
+// reduceJournal folds raw journal records down to the jobs with no
+// terminal record, in submission order.
+func reduceJournal(recs []json.RawMessage) []ReplayJob {
 	type jobAcc struct {
 		rj      ReplayJob
 		started bool // a start record newer than the last submit/requeue
@@ -161,10 +103,10 @@ func replayJournal(path string) ([]ReplayJob, error) {
 	}
 	acc := make(map[string]*jobAcc)
 	var order []string
-	for sc.Scan() {
+	for _, b := range recs {
 		var e journalEntry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			break // torn tail from the crash: replay what made it to disk
+		if err := json.Unmarshal(b, &e); err != nil {
+			break // record from a future vocabulary: stop, like a torn tail
 		}
 		switch e.Op {
 		case "submit":
@@ -201,54 +143,53 @@ func replayJournal(path string) ([]ReplayJob, error) {
 		}
 		pending = append(pending, a.rj)
 	}
-	return pending, nil
+	return pending
 }
 
-// append writes one record and fsyncs it. The scheduler treats append
-// failures as non-fatal (the job still runs; it just loses crash
-// durability), so append only reports the error for logging/counting.
-func (j *Journal) append(e journalEntry) error {
+// SetFaults installs the fault-injection hook fired as "journal.append"
+// before every record; chaos tests only.
+func (j *Journal) SetFaults(f FaultPoints) {
 	if j == nil {
-		return nil
+		return
 	}
-	b, err := json.Marshal(e)
-	if err != nil {
-		return err
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return errors.New("service: journal closed")
-	}
-	if _, err := j.f.Write(append(b, '\n')); err != nil {
-		return err
-	}
-	return j.f.Sync()
+	j.log.SetFaults(f, "journal")
 }
 
 // Submit records a job's acceptance. Attempt is the runs-begun count
 // (0 for a fresh submission).
 func (j *Journal) Submit(id, key string, req Request, attempt int) error {
-	return j.append(journalEntry{Op: "submit", ID: id, Key: key, Request: &req,
+	if j == nil {
+		return nil
+	}
+	return j.log.Append(journalEntry{Op: "submit", ID: id, Key: key, Request: &req,
 		Attempt: attempt, Time: time.Now().UTC()})
 }
 
 // Start records that a run of the job has begun.
 func (j *Journal) Start(id string) error {
-	return j.append(journalEntry{Op: "start", ID: id})
+	if j == nil {
+		return nil
+	}
+	return j.log.Append(journalEntry{Op: "start", ID: id})
 }
 
 // Requeue records a transient failure put back on the queue; attempt is
 // the runs-begun count at the time of requeue.
 func (j *Journal) Requeue(id string, attempt int) error {
-	return j.append(journalEntry{Op: "requeue", ID: id, Attempt: attempt})
+	if j == nil {
+		return nil
+	}
+	return j.log.Append(journalEntry{Op: "requeue", ID: id, Attempt: attempt})
 }
 
 // Terminal records a job reaching state done, failed or cancelled.
 // Replay drops such jobs, so a crash after this record never re-runs
 // the work.
 func (j *Journal) Terminal(id string, state JobState, errMsg string) error {
-	return j.append(journalEntry{Op: string(state), ID: id, Err: errMsg, Time: time.Now().UTC()})
+	if j == nil {
+		return nil
+	}
+	return j.log.Append(journalEntry{Op: string(state), ID: id, Err: errMsg, Time: time.Now().UTC()})
 }
 
 // Close stops the journal; later appends fail.
@@ -256,14 +197,7 @@ func (j *Journal) Close() error {
 	if j == nil {
 		return nil
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return nil
-	}
-	err := j.f.Close()
-	j.f = nil
-	return err
+	return j.log.Close()
 }
 
 // Path returns the journal's file path.
@@ -271,16 +205,10 @@ func (j *Journal) Path() string {
 	if j == nil {
 		return ""
 	}
-	return j.path
+	return j.log.Path()
 }
 
 // syncDir fsyncs a directory so a just-renamed file inside it survives
-// power loss (shared by the journal and the result store's disk tier).
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
-}
+// power loss (used by the result store's disk tier; the journal's own
+// compaction syncs inside internal/wal).
+func syncDir(dir string) error { return wal.SyncDir(dir) }

@@ -260,6 +260,7 @@ func NewScheduler(cfg SchedulerConfig, store *Store) *Scheduler {
 		inflight:   make(map[string]*Job),
 		retryRng:   rand.New(rand.NewSource(cfg.RetrySeed)),
 	}
+	s.journal.SetFaults(cfg.Faults)
 	s.restore(cfg.Replay)
 	s.mu.Lock()
 	s.ready = true
@@ -276,6 +277,11 @@ func NewScheduler(cfg SchedulerConfig, store *Store) *Scheduler {
 func (s *Scheduler) restore(replay []ReplayJob) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if len(replay) > 0 {
+		// One replay event per recovery, however many jobs it carried
+		// (the per-job count is the "replayed" event).
+		s.counters.Add("journal_replays", 1)
+	}
 	for _, rj := range replay {
 		job := &Job{
 			ID:        rj.ID,

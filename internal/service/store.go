@@ -296,6 +296,34 @@ func (s *Store) Envelope(key string) ([]byte, bool) {
 	return append(b, '\n'), true
 }
 
+// PutEnvelope stores a raw stored-result envelope under key: validated
+// like a peer fetch (version, key and table must check out), written to
+// the disk tier verbatim — so a replicated file is byte-identical to
+// the one on the node that produced it — and decoded into the memory
+// tier. It backs the cluster's result replication (PUT /v1/store/{key});
+// content-addressing makes it naturally idempotent.
+func (s *Store) PutEnvelope(key string, b []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("service: refusing to store malformed key %q", key)
+	}
+	var sr storedResult
+	if err := json.Unmarshal(b, &sr); err != nil {
+		return fmt.Errorf("service: bad envelope for %q: %w", key, err)
+	}
+	if sr.Version != SimVersion || sr.Key != key || sr.Table == nil {
+		return fmt.Errorf("service: envelope for %q fails validation (version %q, key %q)", key, sr.Version, sr.Key)
+	}
+	if s.dir != "" {
+		if err := s.writeFileAtomic(key, b); err != nil {
+			s.countDiskErr() // fill failure: the replica still serves from memory
+		}
+	}
+	s.mu.Lock()
+	s.insertLocked(key, sr.Table)
+	s.mu.Unlock()
+	return nil
+}
+
 // Put stores the table under key in both tiers. Callers must not mutate
 // the table afterwards.
 func (s *Store) Put(key string, req Request, tab *stats.Table) error {

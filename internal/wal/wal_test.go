@@ -1,0 +1,179 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testVersion = "wal-test/1"
+
+type rec struct {
+	Op string `json:"op"`
+	N  int    `json:"n"`
+}
+
+func logPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "log.jsonl")
+}
+
+// TestAppendReplay: appended records come back verbatim, in order, and
+// Create compacts the file down to exactly the records it was given.
+func TestAppendReplay(t *testing.T) {
+	path := logPath(t)
+	l, err := Create(path, testVersion, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append(rec{Op: "put", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := Replay(path, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(recs))
+	}
+	for i, b := range recs {
+		var r rec
+		if err := json.Unmarshal(b, &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.N != i || r.Op != "put" {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+
+	// Compaction keeps only the survivors handed to Create.
+	l2, err := Create(path, testVersion, []interface{}{rec{Op: "keep", N: 99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(b), "\n"); lines != 2 {
+		t.Fatalf("compacted log has %d lines:\n%s", lines, b)
+	}
+	recs, err = Replay(path, testVersion)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("post-compaction replay = %d records, err %v", len(recs), err)
+	}
+}
+
+// TestTornTail: a partial final line ends replay cleanly; every fsync'd
+// record before the tear is recovered.
+func TestTornTail(t *testing.T) {
+	path := logPath(t)
+	l, err := Create(path, testVersion, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(rec{Op: "a"})
+	l.Append(rec{Op: "b"})
+	l.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"c","n":`); err != nil { // torn mid-record
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, err := Replay(path, testVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("torn-tail replay recovered %d records, want 2", len(recs))
+	}
+}
+
+// TestVersionAndHeader: wrong version → ErrVersion; malformed header →
+// loud error, never silently empty; missing file → empty log.
+func TestVersionAndHeader(t *testing.T) {
+	path := logPath(t)
+	if recs, err := Replay(path, testVersion); err != nil || recs != nil {
+		t.Fatalf("missing file: recs=%v err=%v", recs, err)
+	}
+	if err := os.WriteFile(path, []byte(`{"version":"wal-test/0"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(path, testVersion); !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+	if err := os.WriteFile(path, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(path, testVersion); err == nil {
+		t.Fatal("malformed header accepted")
+	}
+}
+
+// TestClosedAndNil: appends after Close fail loudly; a nil *Log is a
+// silent no-op everywhere.
+func TestClosedAndNil(t *testing.T) {
+	l, err := Create(logPath(t), testVersion, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := l.Append(rec{}); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+	var nl *Log
+	if err := nl.Append(rec{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if nl.Path() != "" {
+		t.Fatal("nil log has a path")
+	}
+	nl.SetFaults(nil, "x") // must not panic
+}
+
+type errFaults struct{ err error }
+
+func (f errFaults) Fire(point string) error {
+	if point == "test.append" {
+		return f.err
+	}
+	return nil
+}
+
+// TestAppendFault: an injected append fault surfaces as the append
+// error and writes nothing.
+func TestAppendFault(t *testing.T) {
+	path := logPath(t)
+	l, err := Create(path, testVersion, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	l.SetFaults(errFaults{err: boom}, "test")
+	if err := l.Append(rec{Op: "x"}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	l.Close()
+	recs, err := Replay(path, testVersion)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("faulted append reached disk: %d records, err %v", len(recs), err)
+	}
+}
