@@ -11,6 +11,7 @@
 //	acbfuzz -duration 60s -jobs 2 -corpus-out /tmp/corpus
 //	acbfuzz -configs baseline,forced,acb-hot -n 500
 //	acbfuzz -emit-seed-corpus internal/difftest/testdata
+//	acbfuzz -promote 3 -seed 1 -promote-dir internal/workload/testdata/adversarial
 package main
 
 import (
@@ -36,11 +37,25 @@ func main() {
 		corpusOut = flag.String("corpus-out", "", "directory for failure repro files")
 		emitSeed  = flag.String("emit-seed-corpus", "", "write the curated seed corpus to this directory and exit")
 		verbose   = flag.Bool("v", false, "log per-batch progress")
+		timeout   = flag.Duration("timeout", 0, "per-engine run bound; wedged engines fail instead of stalling")
+
+		promote     = flag.Int("promote", 0, "promote this many interesting passing programs to the adversarial corpus and exit")
+		promoteDir  = flag.String("promote-dir", filepath.Join("internal", "workload", "testdata", "adversarial"), "adversarial corpus directory for -promote")
+		minPred     = flag.Int64("min-predications", 8, "promotion floor: predications the matrix must record")
+		minDivFlush = flag.Int64("min-div-flushes", 1, "promotion floor: divergence flushes the matrix must record")
 	)
 	flag.Parse()
 
 	if *emitSeed != "" {
 		if err := emitSeedCorpus(*emitSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "acbfuzz:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *promote > 0 {
+		if err := promoteCorpus(*promote, *seed, *promoteDir, *minPred, *minDivFlush, *timeout, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "acbfuzz:", err)
 			os.Exit(1)
 		}
@@ -54,6 +69,7 @@ func main() {
 		Jobs:      *jobs,
 		Shrink:    *shrink,
 		CorpusDir: *corpusOut,
+		Timeout:   *timeout,
 	}
 	switch *gen {
 	case "default":
@@ -96,6 +112,45 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// promoteCorpus walks the seed schedule looking for passing programs that
+// exercise the predication machinery hard enough to be worth pinning,
+// shrinks each while it stays interesting, and commits trace + manifest
+// pairs to the adversarial corpus directory.
+func promoteCorpus(want int, seed uint64, dir string, minPred, minDivFlush int64, timeout time.Duration, verbose bool) error {
+	popts := difftest.PromoteOptions{
+		Dir:             dir,
+		Check:           difftest.Options{Timeout: timeout},
+		MinPredications: minPred,
+		MinDivFlushes:   minDivFlush,
+	}
+	promoted := 0
+	const maxSeeds = 100000
+	for i := uint64(0); i < maxSeeds && promoted < want; i++ {
+		s := seed + i
+		p := difftest.Generate(s, difftest.DefaultGenConfig())
+		rep := difftest.Check(p, popts.Check)
+		if !popts.Interesting(rep) {
+			if verbose {
+				fmt.Fprintf(os.Stderr, "acbfuzz: seed %d not interesting (%d predications, %d div flushes)\n",
+					s, rep.Predications, rep.DivFlushes)
+			}
+			continue
+		}
+		popts.Desc = fmt.Sprintf("promoted fuzz discovery (campaign seed %d)", s)
+		path, srep, err := difftest.Promote(p, popts)
+		if err != nil {
+			return err
+		}
+		promoted++
+		fmt.Printf("acbfuzz: promoted seed %d -> %s (%d predications, %d div flushes, %d nodes pre-shrink)\n",
+			s, path, srep.Predications, srep.DivFlushes, difftest.CountNodes(p.Nodes))
+	}
+	if promoted < want {
+		return fmt.Errorf("only %d/%d promotions in %d seeds; lower the floors", promoted, want, maxSeeds)
+	}
+	return nil
 }
 
 func emitSeedCorpus(dir string) error {

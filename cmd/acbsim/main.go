@@ -27,12 +27,13 @@ import (
 	"acb/internal/ooo"
 	"acb/internal/sample"
 	"acb/internal/stats"
+	"acb/internal/trace"
 	"acb/internal/workload"
 )
 
 func main() {
 	var (
-		name      = flag.String("workload", "lammps", "workload name (see acbsweep -list)")
+		name      = flag.String("workload", "lammps", "workload selector: name, trace:<file>, or adversarial entry (see acbsweep -list)")
 		schemeStr = flag.String("scheme", "acb", "baseline | perfect | acb | acb-nodynamo | acb-eager | dmp | dmp-pbh | dhp")
 		budget    = flag.Int64("budget", 1_000_000, "retired-instruction budget")
 		cfgName   = flag.String("config", "skylake", "skylake | skylake-2x | skylake-3x | future")
@@ -47,13 +48,14 @@ func main() {
 		sMeasure  = flag.Int64("sample-measure", 0, "measured span per window (0 = default)")
 		sVerify   = flag.Bool("sample-verify", false, "diff architectural state against the functional reference at every window boundary")
 		sCompare  = flag.Bool("sample-compare-full", false, "also run the full detailed simulation and report CPI error and speedup")
+		record    = flag.String("record", "", "record the workload's functional branch trace to this file and exit")
 	)
 	flag.Parse()
 
 	if *format != "ascii" && *format != "json" && *format != "csv" {
 		fail(fmt.Errorf("unknown format %q (want json, csv or ascii)", *format))
 	}
-	w, err := workload.ByName(*name)
+	w, err := workload.Resolve(*name)
 	if err != nil {
 		fail(err)
 	}
@@ -63,6 +65,17 @@ func main() {
 	}
 
 	p, m := w.Build()
+
+	if *record != "" {
+		steps, halted, err := trace.RecordFile(*record, p, m, *budget,
+			trace.Header{Source: w.Name, Kind: "workload"})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("recorded %s: %d functional steps, halted=%v — replay with -workload trace:%s\n",
+			*record, steps, halted, *record)
+		return
+	}
 
 	newPredictor := func() bpu.Predictor {
 		if *schemeStr == "perfect" {

@@ -28,7 +28,7 @@ func main() {
 	var (
 		exp       = flag.String("experiment", "all", "experiment to run ("+strings.Join(experiments.Names(), " ")+" all)")
 		budget    = flag.Int64("budget", 400_000, "retired-instruction budget per simulation")
-		names     = flag.String("workloads", "", "comma-separated workload subset (default: full suite)")
+		names     = flag.String("workloads", "", "comma-separated workload selectors: names, trace:<file>, tier=adversarial (default: full suite)")
 		jobs      = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial; output is identical either way)")
 		format    = flag.String("format", "ascii", "table rendering: json | csv | ascii")
 		csv       = flag.Bool("csv", false, "deprecated alias for -format csv")
@@ -50,20 +50,23 @@ func main() {
 		for _, w := range workload.All() {
 			fmt.Printf("%-12s %-8s %s\n", w.Name, w.Category, w.Mirrors)
 		}
+		if advs, err := workload.Adversarial(); err == nil {
+			for _, w := range advs {
+				fmt.Printf("%-12s %-8s %s\n", w.Name, w.Category, w.Mirrors)
+			}
+		}
 		return
 	}
 
 	opts := experiments.DefaultOptions()
 	opts.Budget = *budget
 	if *names != "" {
-		for _, n := range strings.Split(*names, ",") {
-			w, err := workload.ByName(strings.TrimSpace(n))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			opts.Workloads = append(opts.Workloads, w)
+		ws, err := workload.Expand(strings.Split(*names, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
+		opts.Workloads = append(opts.Workloads, ws...)
 	}
 	opts.Jobs = *jobs
 	runStats := &experiments.RunnerStats{}

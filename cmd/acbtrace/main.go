@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("workload", "gcc", "workload name")
+		name   = flag.String("workload", "gcc", "workload selector: name, trace:<file>, or adversarial entry")
 		mode   = flag.String("mode", "critpath", "disasm | hammocks | critpath | attribute | export | trace")
 		out    = flag.String("o", "", "output file for export/trace modes (default stdout)")
 		steps  = flag.Int64("steps", 200_000, "trace length for critpath mode")
@@ -40,7 +40,7 @@ func main() {
 	)
 	flag.Parse()
 
-	w, err := workload.ByName(*name)
+	w, err := workload.Resolve(*name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

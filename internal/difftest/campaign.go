@@ -19,6 +19,11 @@ type CampaignOptions struct {
 	Jobs     int           // concurrent checks (0 = GOMAXPROCS)
 	Gen      GenConfig     // zero = DefaultGenConfig()
 	Check    Options
+	// Timeout bounds every candidate's per-engine run — campaign checks
+	// AND the shrinker's reduction re-checks, which previously ran without
+	// the campaign's context and could stall the whole shrink loop behind
+	// one wedged engine. Zero means no bound.
+	Timeout time.Duration
 
 	Shrink       bool   // minimize failures before reporting
 	ShrinkBudget int    // Check calls per shrink (0 = 400)
@@ -82,6 +87,15 @@ func (o *CampaignOptions) fill() {
 	}
 	if o.Context == nil {
 		o.Context = context.Background()
+	}
+	// Thread the campaign's context and timeout into every Check — batch
+	// slots and shrink candidates alike — so cancellation and the
+	// per-candidate bound reach the engine cycle loops.
+	if o.Check.Context == nil {
+		o.Check.Context = o.Context
+	}
+	if o.Check.Timeout == 0 {
+		o.Check.Timeout = o.Timeout
 	}
 }
 

@@ -1,8 +1,10 @@
 package difftest
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"acb/internal/bpu"
 	"acb/internal/config"
@@ -161,6 +163,14 @@ type Options struct {
 	// BudgetSlack is added to the functional step count to form each OOO
 	// run's retire budget; an engine that has not halted by then fails.
 	BudgetSlack int64
+	// Timeout bounds each engine run's wall-clock time; a run that exceeds
+	// it is reported as a FailRun failure instead of stalling the caller
+	// (shrink loops check hundreds of candidates — one wedged engine must
+	// not hang the campaign). Zero means no bound.
+	Timeout time.Duration
+	// Context cancels in-flight engine runs early (campaign shutdown).
+	// nil means context.Background().
+	Context context.Context
 }
 
 func (o *Options) fill() {
@@ -285,8 +295,17 @@ func runEngine(e Engine, asm *Assembled, ref *isa.ArchState, refMem *isa.Memory,
 		c.InjectMutation(e.Mutation)
 	}
 
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
 	budget := steps + opts.BudgetSlack
-	res, err := c.Run(budget)
+	res, err := c.RunContext(ctx, budget)
 	if err != nil {
 		fails = append(fails, Failure{Engine: e.Name, Kind: FailRun, Detail: err.Error()})
 		return fails, res

@@ -1,0 +1,120 @@
+package difftest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"acb/internal/trace"
+	"acb/internal/workload"
+)
+
+// Promotion turns interesting *passing* fuzz programs into committed
+// adversarial workloads: the program is shrunk while it keeps passing the
+// full engine matrix AND keeps exercising the predication machinery, its
+// branch trace is recorded from the functional emulator, and a manifest +
+// trace pair lands in the adversarial corpus directory
+// (internal/workload/testdata/adversarial), where go:embed turns it into a
+// tier=adversarial workload and the golden matrix replays it forever.
+
+// PromoteOptions parameterizes one promotion.
+type PromoteOptions struct {
+	Dir          string  // corpus directory (manifest + trace are written here)
+	Name         string  // entry name; "" derives "fuzz-seed<seed>"
+	Desc         string  // one-line description for the manifest
+	Check        Options // matrix the candidate must pass (zero = defaults)
+	ShrinkBudget int     // Check calls for ShrinkWhile (0 = 400)
+	// Interestingness floor: a candidate (and every accepted reduction)
+	// must reach these machinery counters. MinPredications <= 0 means 1 —
+	// a program that never predicates pins nothing.
+	MinPredications int64
+	MinDivFlushes   int64
+}
+
+// Interesting reports whether a report makes its program worth promoting:
+// it passes the whole matrix and meets the machinery-exercise floor.
+func (o *PromoteOptions) Interesting(r *Report) bool {
+	minPred := o.MinPredications
+	if minPred <= 0 {
+		minPred = 1
+	}
+	return r.OK() && r.Predications >= minPred && r.DivFlushes >= o.MinDivFlushes
+}
+
+// Promote shrinks p while it stays interesting, records the shrunk
+// program's branch trace, and writes the corpus entry. It returns the
+// manifest path and the shrunk program's report.
+func Promote(p *Prog, o PromoteOptions) (string, *Report, error) {
+	if o.Dir == "" {
+		return "", nil, fmt.Errorf("difftest: promote: no corpus directory")
+	}
+	shrunk, rep := ShrinkWhile(p, o.Check, o.ShrinkBudget, o.Interesting)
+	if !o.Interesting(rep) {
+		detail := "meets no machinery-exercise floor"
+		if !rep.OK() {
+			detail = "fails the matrix: " + rep.Failures[0].String()
+		}
+		return "", rep, fmt.Errorf("difftest: promote: seed %d is not promotable (%s)", p.Seed, detail)
+	}
+	asm, err := Assemble(shrunk)
+	if err != nil {
+		return "", rep, fmt.Errorf("difftest: promote: %w", err)
+	}
+
+	name := o.Name
+	if name == "" {
+		name = fmt.Sprintf("fuzz-seed%d", p.Seed)
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return "", rep, err
+	}
+	traceName := name + ".trace"
+	_, halted, err := trace.RecordFile(filepath.Join(o.Dir, traceName), asm.Insts, asm.Mem,
+		asm.StepBound+16, trace.Header{Source: name, Kind: "difftest", Seed: shrunk.Seed})
+	if err != nil {
+		return "", rep, fmt.Errorf("difftest: promote: record trace: %w", err)
+	}
+	if !halted {
+		return "", rep, fmt.Errorf("difftest: promote: seed %d did not halt within its step bound", p.Seed)
+	}
+
+	progJSON, err := json.Marshal(shrunk)
+	if err != nil {
+		return "", rep, err
+	}
+	engines := len(o.Check.Matrix)
+	if engines == 0 {
+		engines = len(DefaultMatrix())
+	}
+	reason := fmt.Sprintf(
+		"passes the %d-engine matrix while exercising the machinery: %d predications, %d divergence flushes, %d transparent ops, %d select uops, %d invalidated mem ops (%d nodes after shrink)",
+		engines, rep.Predications, rep.DivFlushes, rep.TransparentOps, rep.SelectUops, rep.InvalidatedMem,
+		CountNodes(shrunk.Nodes))
+	man := workload.Manifest{
+		Name:     name,
+		Desc:     o.Desc,
+		Seed:     shrunk.Seed,
+		Promoted: reason,
+		Matrix: workload.MatrixSummary{
+			Engines:        engines,
+			Steps:          rep.Steps,
+			Predications:   rep.Predications,
+			DivFlushes:     rep.DivFlushes,
+			TransparentOps: rep.TransparentOps,
+			SelectUops:     rep.SelectUops,
+			InvalidatedMem: rep.InvalidatedMem,
+		},
+		Trace: traceName,
+		Prog:  progJSON,
+	}
+	data, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		return "", rep, err
+	}
+	manifestPath := filepath.Join(o.Dir, name+".json")
+	if err := os.WriteFile(manifestPath, append(data, '\n'), 0o644); err != nil {
+		return "", rep, err
+	}
+	return manifestPath, rep, nil
+}

@@ -141,13 +141,22 @@ func reductionsOf(p *Prog) []*Prog {
 // report. maxChecks bounds the number of Check calls (<= 0 means 400).
 // When p itself passes, it is returned unchanged with its passing report.
 func Shrink(p *Prog, opts Options, maxChecks int) (*Prog, *Report) {
+	return ShrinkWhile(p, opts, maxChecks, func(r *Report) bool { return !r.OK() })
+}
+
+// ShrinkWhile greedily minimizes a program under an arbitrary keep
+// predicate: a reduction is accepted while keep(its report) holds. Failure
+// shrinking passes keep = "still fails"; adversarial promotion passes
+// keep = "still passes and still exercises the machinery". When p itself
+// does not satisfy keep it is returned unchanged with its report.
+func ShrinkWhile(p *Prog, opts Options, maxChecks int, keep func(*Report) bool) (*Prog, *Report) {
 	if maxChecks <= 0 {
 		maxChecks = 400
 	}
 	best := cloneProg(p)
 	rep := Check(best, opts)
 	maxChecks--
-	if rep.OK() {
+	if !keep(rep) {
 		return best, rep
 	}
 	improved := true
@@ -159,7 +168,7 @@ func Shrink(p *Prog, opts Options, maxChecks int) (*Prog, *Report) {
 			}
 			r := Check(cand, opts)
 			maxChecks--
-			if !r.OK() {
+			if keep(r) {
 				best, rep = cand, r
 				improved = true
 				break // restart from the reduced program

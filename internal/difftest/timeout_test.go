@@ -1,0 +1,99 @@
+package difftest
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"acb/internal/ooo"
+)
+
+// slowScheme simulates a wedged engine: every retire tick stalls, so a
+// run that would take milliseconds takes seconds. The timeout plumbing
+// must convert it into a prompt FailRun instead of hanging the caller.
+type slowScheme struct{ d time.Duration }
+
+func (s *slowScheme) Name() string { return "slow" }
+func (s *slowScheme) ShouldPredicate(int, bool, int, uint64) (ooo.PredSpec, bool) {
+	return ooo.PredSpec{}, false
+}
+func (s *slowScheme) OnFetch(ooo.FetchEvent)           {}
+func (s *slowScheme) OnFlush()                         {}
+func (s *slowScheme) OnBranchResolve(ooo.ResolveEvent) {}
+func (s *slowScheme) OnRetireTick(int64)               { time.Sleep(s.d) }
+
+func slowEngine(d time.Duration) Engine {
+	return Engine{Name: "slow", NewScheme: func(*Assembled) ooo.Scheme { return &slowScheme{d: d} }}
+}
+
+// TestTimeoutUnsticksSlowEngine: with Options.Timeout set, a check against
+// an injected slow engine returns a FailRun cancellation instead of
+// stalling until the run finishes on its own.
+func TestTimeoutUnsticksSlowEngine(t *testing.T) {
+	p := Generate(3, DefaultGenConfig())
+	opts := Options{
+		Matrix:     []Engine{slowEngine(10 * time.Microsecond)},
+		Invariants: []Invariant{},
+		Timeout:    30 * time.Millisecond,
+	}
+	start := time.Now()
+	rep := Check(p, opts)
+	elapsed := time.Since(start)
+	if rep.OK() {
+		t.Fatalf("slow engine passed under a 30ms timeout")
+	}
+	f := rep.Failures[0]
+	if f.Kind != FailRun || !strings.Contains(f.Detail, "cancelled") {
+		t.Fatalf("failure = %s, want a FailRun cancellation", f)
+	}
+	// Generous bound: the point is "returns promptly", not exact latency
+	// (cancellation is polled every ctxCheckInterval cycles).
+	if elapsed > 30*time.Second {
+		t.Fatalf("check took %v despite timeout", elapsed)
+	}
+}
+
+// TestShrinkDoesNotStallOnHungEngine is the regression test for the
+// shrinker stall: candidate re-checks run under the same Options, so the
+// per-candidate timeout bounds every reduction attempt too.
+func TestShrinkDoesNotStallOnHungEngine(t *testing.T) {
+	p := Generate(5, DefaultGenConfig())
+	opts := Options{
+		Matrix:     []Engine{slowEngine(10 * time.Microsecond)},
+		Invariants: []Invariant{},
+		Timeout:    30 * time.Millisecond,
+	}
+	start := time.Now()
+	shrunk, rep := Shrink(p, opts, 3)
+	elapsed := time.Since(start)
+	if shrunk == nil || rep.OK() {
+		t.Fatalf("expected the slow engine to keep failing under timeout")
+	}
+	if rep.Failures[0].Kind != FailRun {
+		t.Fatalf("failure = %s, want FailRun", rep.Failures[0])
+	}
+	if elapsed > 60*time.Second {
+		t.Fatalf("shrink of 5 candidates took %v despite per-candidate timeout", elapsed)
+	}
+}
+
+// TestContextCancelsCheck: a pre-cancelled Options.Context fails every
+// engine promptly (the campaign shutdown path).
+func TestContextCancelsCheck(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Generate(7, DefaultGenConfig())
+	rep := Check(p, Options{Context: ctx})
+	if rep.OK() {
+		t.Fatalf("check passed under a cancelled context")
+	}
+	for _, f := range rep.Failures {
+		if f.Kind != FailRun {
+			t.Fatalf("failure = %s, want FailRun cancellations only", f)
+		}
+	}
+	if len(rep.Failures) != len(DefaultMatrix()) {
+		t.Fatalf("%d failures, want one per engine (%d)", len(rep.Failures), len(DefaultMatrix()))
+	}
+}

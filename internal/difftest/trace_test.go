@@ -1,0 +1,253 @@
+package difftest
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"acb/internal/trace"
+	"acb/internal/workload"
+)
+
+// replayAssembled rebuilds an Assembled from a recorded trace alone: the
+// program and initial memory come out of the trace file; only the site
+// list (needed by the forced engines) and step bookkeeping are taken from
+// the original assembly, and those are pure metadata — they do not feed
+// the architectural inputs.
+func replayAssembled(tr *trace.Trace, asm *Assembled) *Assembled {
+	return &Assembled{
+		Insts:        tr.Prog,
+		Mem:          tr.Memory(),
+		Sites:        asm.Sites,
+		StepsPerIter: asm.StepsPerIter,
+		StepBound:    asm.StepBound,
+	}
+}
+
+// TestReplayVsRecordByteIdentical: record a fuzz program's branch trace,
+// rebuild the workload from the trace alone, and run the full engine
+// matrix on both — every engine's result must be byte-identical. This is
+// the trace backend's core guarantee: a `trace:` workload reproduces the
+// exact experiment that recorded it.
+func TestReplayVsRecordByteIdentical(t *testing.T) {
+	for _, seed := range goldenSeeds {
+		p := Generate(seed, DefaultGenConfig())
+		asm, err := Assemble(p)
+		if err != nil {
+			t.Fatalf("seed %d: assemble: %v", seed, err)
+		}
+		var buf []byte
+		{
+			f, err := os.CreateTemp(t.TempDir(), "*.trace")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := trace.Record(f, asm.Insts, asm.Mem, int64(asm.StepBound)+16,
+				trace.Header{Source: "difftest", Kind: "test", Seed: seed}); err != nil {
+				t.Fatalf("seed %d: record: %v", seed, err)
+			}
+			name := f.Name()
+			f.Close()
+			buf, err = os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr, err := trace.Decode(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if err := tr.Verify(); err != nil {
+			t.Fatalf("seed %d: verify: %v", seed, err)
+		}
+		if !reflect.DeepEqual(tr.Prog, asm.Insts) {
+			t.Fatalf("seed %d: decoded program differs from assembled program", seed)
+		}
+		if !tr.Memory().Equal(asm.Mem) {
+			t.Fatalf("seed %d: decoded memory differs from assembled memory", seed)
+		}
+
+		replay := replayAssembled(tr, asm)
+		budget := int64(asm.StepBound) + 4096
+		for _, e := range DefaultMatrix() {
+			orig := goldenFromResult(e.Name, runGoldenEngine(t, e, asm, budget))
+			rep := goldenFromResult(e.Name, runGoldenEngine(t, e, replay, budget))
+			if !reflect.DeepEqual(orig, rep) {
+				t.Errorf("seed %d engine %s: replay diverges from record:\n  record: %+v\n  replay: %+v",
+					seed, e.Name, orig, rep)
+			}
+		}
+	}
+}
+
+// adversarialGolden pins the full engine matrix over the committed
+// adversarial corpus: per entry, per engine, the complete timing and
+// architectural summary.
+type adversarialGolden map[string]map[string]goldenRun
+
+const adversarialGoldenPath = "testdata/golden/adversarial.json"
+
+// TestAdversarialCorpusGoldenMatrix replays every committed adversarial
+// corpus entry across the engine matrix and pins the results. It also
+// re-checks the promotion invariants: the manifest's difftest program
+// re-assembles to exactly the committed trace's program and memory, the
+// trace verifies against the functional emulator, and the differential
+// check still passes.
+func TestAdversarialCorpusGoldenMatrix(t *testing.T) {
+	entries, err := workload.AdversarialEntries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("adversarial corpus has %d entries, want >= 3 committed promotions", len(entries))
+	}
+
+	got := adversarialGolden{}
+	for _, ent := range entries {
+		tr, err := trace.Decode(bytes.NewReader(ent.Trace))
+		if err != nil {
+			t.Fatalf("%s: decode trace: %v", ent.Manifest.Name, err)
+		}
+		if err := tr.Verify(); err != nil {
+			t.Fatalf("%s: trace does not verify: %v", ent.Manifest.Name, err)
+		}
+
+		var p Prog
+		if err := json.Unmarshal(ent.Manifest.Prog, &p); err != nil {
+			t.Fatalf("%s: manifest prog: %v", ent.Manifest.Name, err)
+		}
+		asm, err := Assemble(&p)
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", ent.Manifest.Name, err)
+		}
+		if !reflect.DeepEqual(tr.Prog, asm.Insts) {
+			t.Fatalf("%s: committed trace program differs from re-assembled manifest program", ent.Manifest.Name)
+		}
+		if !tr.Memory().Equal(asm.Mem) {
+			t.Fatalf("%s: committed trace memory differs from re-assembled manifest memory", ent.Manifest.Name)
+		}
+		if rep := Check(&p, Options{}); !rep.OK() {
+			t.Fatalf("%s: promoted program no longer passes the matrix: %s",
+				ent.Manifest.Name, rep.Failures[0])
+		}
+
+		replay := replayAssembled(tr, asm)
+		budget := int64(asm.StepBound) + 4096
+		runs := map[string]goldenRun{}
+		for _, e := range DefaultMatrix() {
+			orig := goldenFromResult(e.Name, runGoldenEngine(t, e, asm, budget))
+			rep := goldenFromResult(e.Name, runGoldenEngine(t, e, replay, budget))
+			if !reflect.DeepEqual(orig, rep) {
+				t.Errorf("%s engine %s: trace replay diverges from direct run",
+					ent.Manifest.Name, e.Name)
+			}
+			runs[e.Name] = rep
+		}
+		got[ent.Manifest.Name] = runs
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(adversarialGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(adversarialGoldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d entries)", adversarialGoldenPath, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(adversarialGoldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	var want adversarialGolden
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden has %d entries, corpus has %d (run with -update)", len(want), len(got))
+	}
+	for name, runs := range got {
+		wantRuns, ok := want[name]
+		if !ok {
+			t.Errorf("corpus entry %s missing from golden (run with -update)", name)
+			continue
+		}
+		for engine, run := range runs {
+			if w, ok := wantRuns[engine]; !ok {
+				t.Errorf("%s: engine %s missing from golden", name, engine)
+			} else if !reflect.DeepEqual(run, w) {
+				t.Errorf("%s engine %s drifted from golden:\n  want %+v\n  got  %+v", name, engine, w, run)
+			}
+		}
+	}
+}
+
+// TestPromoteRoundTrip drives the full promotion pipeline into a temp
+// directory: shrink-while-interesting, trace record, manifest write —
+// then reloads the entry the way the corpus loader does and replays it.
+func TestPromoteRoundTrip(t *testing.T) {
+	popts := PromoteOptions{
+		Dir:          t.TempDir(),
+		Desc:         "promotion round-trip test",
+		ShrinkBudget: 40,
+	}
+	var promoted string
+	for seed := uint64(1); seed <= 64; seed++ {
+		p := Generate(seed, DefaultGenConfig())
+		rep := Check(p, popts.Check)
+		if !popts.Interesting(rep) {
+			continue
+		}
+		path, rep, err := Promote(p, popts)
+		if err != nil {
+			t.Fatalf("seed %d: promote: %v", seed, err)
+		}
+		if !popts.Interesting(rep) {
+			t.Fatalf("seed %d: shrunk program lost interestingness", seed)
+		}
+		promoted = path
+		break
+	}
+	if promoted == "" {
+		t.Fatal("no interesting seed in 1..64 — generator or floor regressed")
+	}
+
+	data, err := os.ReadFile(promoted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man workload.Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Trace == "" || man.Promoted == "" || len(man.Prog) == 0 {
+		t.Fatalf("manifest incomplete: %+v", man)
+	}
+	tracePath := filepath.Join(popts.Dir, man.Trace)
+	w, err := workload.FromTrace(tracePath)
+	if err != nil {
+		t.Fatalf("trace workload does not load: %v", err)
+	}
+	insts, mem := w.Build()
+
+	var p Prog
+	if err := json.Unmarshal(man.Prog, &p); err != nil {
+		t.Fatal(err)
+	}
+	asm, err := Assemble(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(insts, asm.Insts) || !mem.Equal(asm.Mem) {
+		t.Fatal("promoted trace does not reproduce the shrunk program's inputs")
+	}
+}

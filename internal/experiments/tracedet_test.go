@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"acb/internal/trace"
+	"acb/internal/workload"
+)
+
+// TestTraceRecordingDeterministicAcrossJobs records the same workloads
+// under different pool widths and demands byte-identical trace files: the
+// format carries no timestamps or scheduling artifacts, so a trace
+// recorded on a laptop with -jobs 1 equals one recorded on a 64-way
+// sweep box, and corpus entries re-recorded anywhere diff clean.
+func TestTraceRecordingDeterministicAcrossJobs(t *testing.T) {
+	names := []string{"gcc", "mcf", "soplex", "astar"}
+	const maxSteps = 50_000
+
+	recordAll := func(jobs int) [][]byte {
+		out := make([][]byte, len(names))
+		err := Pool(Options{Jobs: jobs}, len(names), func(i int) {
+			w, err := workload.Resolve(names[i])
+			if err != nil {
+				t.Errorf("%s: %v", names[i], err)
+				return
+			}
+			p, m := w.Build()
+			var buf bytes.Buffer
+			if _, _, err := trace.Record(&buf, p, m, maxSteps,
+				trace.Header{Source: w.Name, Kind: "workload"}); err != nil {
+				t.Errorf("%s: record: %v", names[i], err)
+				return
+			}
+			out[i] = buf.Bytes()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	serial := recordAll(1)
+	wide := recordAll(4)
+	for i, name := range names {
+		if serial[i] == nil || wide[i] == nil {
+			t.Fatalf("%s: recording failed", name)
+		}
+		if !bytes.Equal(serial[i], wide[i]) {
+			t.Errorf("%s: trace bytes differ between -jobs 1 and -jobs 4", name)
+		}
+	}
+}

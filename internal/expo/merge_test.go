@@ -1,0 +1,139 @@
+package expo
+
+import (
+	"strings"
+	"testing"
+)
+
+// Merge edge cases the coordinator hits in production rollups: nodes
+// disagreeing on HELP text, histogram families whose _bucket/_sum/_count
+// samples must travel with their base family, and label values that only
+// survive a merge round-trip if escaping is handled on both sides.
+
+func mustParse(t *testing.T, text string) []Family {
+	t.Helper()
+	fams, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return fams
+}
+
+// TestMergeDuplicateHelpFirstSeenWins: two nodes exposing the same family
+// with different HELP text merge under the first-seen text — the merge
+// must be deterministic in input order, never a mixture.
+func TestMergeDuplicateHelpFirstSeenWins(t *testing.T) {
+	a := mustParse(t, "# HELP acbd_jobs jobs queued\n# TYPE acbd_jobs gauge\nacbd_jobs{node=\"w1\"} 3\n")
+	b := mustParse(t, "# HELP acbd_jobs jobs currently queued (v2 wording)\n# TYPE acbd_jobs gauge\nacbd_jobs{node=\"w2\"} 5\n")
+
+	m := Merge(a, b)
+	if len(m) != 1 {
+		t.Fatalf("merged into %d families, want 1", len(m))
+	}
+	if m[0].Help != "jobs queued" {
+		t.Fatalf("help = %q, want first-seen %q", m[0].Help, "jobs queued")
+	}
+	if len(m[0].Samples) != 2 {
+		t.Fatalf("%d samples, want both nodes'", len(m[0].Samples))
+	}
+
+	// Swapping input order swaps which HELP wins — order-determined, not
+	// content-determined.
+	if m := Merge(b, a); m[0].Help != "jobs currently queued (v2 wording)" {
+		t.Fatalf("reversed merge help = %q, want second exposition's text", m[0].Help)
+	}
+}
+
+// TestMergeFillsMissingHelpAndType: a node that omits HELP (or TYPE)
+// must not blank the merged declaration when another node carries it.
+func TestMergeFillsMissingHelpAndType(t *testing.T) {
+	bare := mustParse(t, "# TYPE acbd_up gauge\nacbd_up{node=\"w1\"} 1\n")
+	full := mustParse(t, "# HELP acbd_up node liveness\n# TYPE acbd_up gauge\nacbd_up{node=\"w2\"} 1\n")
+	m := Merge(bare, full)
+	if len(m) != 1 || m[0].Help != "node liveness" || m[0].Type != "gauge" {
+		t.Fatalf("merge did not backfill declarations: %+v", m)
+	}
+}
+
+// TestMergeHistogramAcrossNodes: per-node histogram expositions merge
+// into one family that keeps every node's _bucket/_sum/_count samples, in
+// node order, under a single declaration.
+func TestMergeHistogramAcrossNodes(t *testing.T) {
+	node := func(name string, le1, le2, sum, count string) []Family {
+		text := "# HELP acbd_latency request latency\n# TYPE acbd_latency histogram\n" +
+			"acbd_latency_bucket{node=\"" + name + "\",le=\"0.1\"} " + le1 + "\n" +
+			"acbd_latency_bucket{node=\"" + name + "\",le=\"+Inf\"} " + le2 + "\n" +
+			"acbd_latency_sum{node=\"" + name + "\"} " + sum + "\n" +
+			"acbd_latency_count{node=\"" + name + "\"} " + count + "\n"
+		return mustParse(t, text)
+	}
+
+	m := Merge(node("w1", "4", "9", "1.25", "9"), node("w2", "7", "11", "2.5", "11"))
+	if len(m) != 1 {
+		t.Fatalf("histogram split into %d families: %+v", len(m), m)
+	}
+	f := m[0]
+	if f.Type != "histogram" || len(f.Samples) != 8 {
+		t.Fatalf("merged family type=%q samples=%d, want histogram with all 8 samples", f.Type, len(f.Samples))
+	}
+	// Suffix samples stay attached to the base family and keep node order.
+	wantNames := []string{
+		"acbd_latency_bucket", "acbd_latency_bucket", "acbd_latency_sum", "acbd_latency_count",
+		"acbd_latency_bucket", "acbd_latency_bucket", "acbd_latency_sum", "acbd_latency_count",
+	}
+	for i, s := range f.Samples {
+		if s.Name != wantNames[i] {
+			t.Fatalf("sample %d name = %q, want %q", i, s.Name, wantNames[i])
+		}
+	}
+	out := String(m)
+	if strings.Count(out, "# TYPE acbd_latency histogram") != 1 {
+		t.Fatalf("merged exposition declares the histogram more than once:\n%s", out)
+	}
+	if !strings.Contains(out, `le="+Inf"`) {
+		t.Fatalf("merged exposition lost the +Inf bucket:\n%s", out)
+	}
+}
+
+// TestMergeEscapedLabelValues: label values containing quotes, backslashes
+// and newlines must survive parse → merge → write → parse unchanged.
+func TestMergeEscapedLabelValues(t *testing.T) {
+	in := "# HELP acbd_info build info\n# TYPE acbd_info gauge\n" +
+		`acbd_info{path="C:\\sim\\acb",quote="say \"hi\"",multi="line one\nline two"} 1` + "\n"
+	fams := mustParse(t, in)
+	got := fams[0].Samples[0].Labels
+	want := []Label{
+		{Name: "path", Value: `C:\sim\acb`},
+		{Name: "quote", Value: `say "hi"`},
+		{Name: "multi", Value: "line one\nline two"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d labels, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("label %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Round-trip through a merge with a second node: the rendered text
+	// must re-parse to the identical label set, and the raw newline must
+	// never leak into the output unescaped (it would split the sample
+	// line and corrupt the whole exposition).
+	other := mustParse(t, "# HELP acbd_info build info\n# TYPE acbd_info gauge\nacbd_info{node=\"w2\"} 1\n")
+	out := String(Merge(fams, other))
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("unescaped newline split the exposition:\n%s", out)
+		}
+	}
+	back := mustParse(t, out)
+	if len(back) != 1 || len(back[0].Samples) != 2 {
+		t.Fatalf("round-trip reparse lost samples: %+v", back)
+	}
+	for i := range want {
+		if back[0].Samples[0].Labels[i] != want[i] {
+			t.Fatalf("round-trip label %d = %+v, want %+v", i, back[0].Samples[0].Labels[i], want[i])
+		}
+	}
+}

@@ -71,11 +71,11 @@ func (r *Request) normalize() error {
 	if r.Budget == 0 {
 		r.Budget = DefaultBudget
 	}
-	for i, n := range r.Workloads {
-		if _, err := workload.ByName(n); err != nil {
-			return fmt.Errorf("service: %v", err)
-		}
-		r.Workloads[i] = n
+	// Selectors (trace:<file>, tier=adversarial, adversarial entries) are
+	// validated here but expanded at run time, so the request key hashes
+	// the selector text the caller wrote.
+	if _, err := workload.Expand(r.Workloads); err != nil {
+		return fmt.Errorf("service: %v", err)
 	}
 	cfg, err := config.ByName(r.Config)
 	if err != nil {
@@ -135,12 +135,10 @@ func (r *Request) options(jobs int, stats *experiments.RunnerStats) (experiments
 		return opts, err
 	}
 	opts.Config = cfg
-	for _, n := range r.Workloads {
-		w, err := workload.ByName(n)
-		if err != nil {
-			return opts, err
-		}
-		opts.Workloads = append(opts.Workloads, w)
+	ws, err := workload.Expand(r.Workloads)
+	if err != nil {
+		return opts, err
 	}
+	opts.Workloads = append(opts.Workloads, ws...)
 	return opts, nil
 }

@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hammers the decoder with arbitrary bytes: it must never
+// panic and never allocate unboundedly, only return (*Trace, nil) or an
+// error. Inputs that do decode are pushed through Verify as well (bounded
+// by the decoded step count) so the verifier is fuzzed on the same budget.
+func FuzzDecode(f *testing.F) {
+	valid, _, _ := recordBytes(f, 60, 21)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:7])
+	corrupt := bytes.Clone(valid)
+	corrupt[len(corrupt)/3] ^= 0x40
+	f.Add(corrupt)
+	f.Add([]byte("ACBT"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A hostile trace can claim any step count; only verify cheap ones.
+		if tr.Prog != nil && tr.Steps >= 0 && tr.Steps <= 1<<16 {
+			_ = tr.Verify()
+		}
+	})
+}

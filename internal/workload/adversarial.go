@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"bytes"
+	"embed"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"acb/internal/trace"
+)
+
+// The adversarial tier: difftest-fuzzer discoveries promoted into
+// permanent benchmarks. Each entry is a manifest (what it is, why it was
+// promoted, the generator AST for site-aware engines) plus the recorded
+// branch trace of the shrunk program. The corpus is embedded into the
+// binary so adversarial workloads are available everywhere the suite is —
+// acbd workers, CI, remote fleets — without a checkout-relative path.
+//
+//go:embed testdata/adversarial
+var adversarialFS embed.FS
+
+const adversarialDir = "testdata/adversarial"
+
+// AdvPrefix namespaces adversarial workload names ("adv:<entry>").
+const AdvPrefix = "adv:"
+
+// MatrixSummary records how the promoted program exercised the difftest
+// engine matrix at promotion time.
+type MatrixSummary struct {
+	Engines        int   `json:"engines"`
+	Steps          int64 `json:"steps"`
+	Predications   int64 `json:"predications"`
+	DivFlushes     int64 `json:"div_flushes"`
+	TransparentOps int64 `json:"transparent_ops"`
+	SelectUops     int64 `json:"select_uops"`
+	InvalidatedMem int64 `json:"invalidated_mem"`
+}
+
+// Manifest is the committed description of one promoted corpus entry.
+type Manifest struct {
+	Name     string        `json:"name"`
+	Desc     string        `json:"desc,omitempty"`
+	Seed     uint64        `json:"seed"`
+	Promoted string        `json:"promoted"` // why this program earned a slot
+	Matrix   MatrixSummary `json:"matrix"`
+	Trace    string        `json:"trace"` // trace filename, relative to the manifest
+	// Prog is the difftest program AST (difftest.Prog JSON). Stored as raw
+	// JSON so this package stays difftest-agnostic; the difftest golden
+	// tests re-assemble it to recover the forced engines' predication sites.
+	Prog json.RawMessage `json:"prog"`
+}
+
+// AdversarialEntry pairs a manifest with its embedded trace bytes.
+type AdversarialEntry struct {
+	Manifest Manifest
+	Trace    []byte
+}
+
+// AdversarialEntries returns the embedded corpus, sorted by manifest
+// filename. An empty corpus is valid (no entries, nil error).
+func AdversarialEntries() ([]AdversarialEntry, error) {
+	files, err := adversarialFS.ReadDir(adversarialDir)
+	if err != nil {
+		return nil, nil // directory absent from the build: empty corpus
+	}
+	var names []string
+	for _, f := range files {
+		if !f.IsDir() && strings.HasSuffix(f.Name(), ".json") {
+			names = append(names, f.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make([]AdversarialEntry, 0, len(names))
+	for _, name := range names {
+		data, err := adversarialFS.ReadFile(adversarialDir + "/" + name)
+		if err != nil {
+			return nil, err
+		}
+		var m Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("workload: adversarial manifest %s: %w", name, err)
+		}
+		if m.Name == "" {
+			m.Name = strings.TrimSuffix(name, ".json")
+		}
+		if m.Trace == "" {
+			return nil, fmt.Errorf("workload: adversarial manifest %s names no trace file", name)
+		}
+		tb, err := adversarialFS.ReadFile(adversarialDir + "/" + m.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("workload: adversarial entry %s: %w", m.Name, err)
+		}
+		out = append(out, AdversarialEntry{Manifest: m, Trace: tb})
+	}
+	return out, nil
+}
+
+// Adversarial returns the promoted corpus as replayable workloads, named
+// "adv:<entry>". Each trace is decoded and verified against a functional
+// re-run, so a corpus entry that drifted from the current ISA or emulator
+// fails loudly here.
+func Adversarial() ([]Workload, error) {
+	entries, err := AdversarialEntries()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Workload, 0, len(entries))
+	for _, e := range entries {
+		t, err := trace.Decode(bytes.NewReader(e.Trace))
+		if err != nil {
+			return nil, fmt.Errorf("workload: adversarial entry %s: %w", e.Manifest.Name, err)
+		}
+		if err := t.Verify(); err != nil {
+			return nil, fmt.Errorf("workload: adversarial entry %s: %w", e.Manifest.Name, err)
+		}
+		mirrors := e.Manifest.Desc
+		if mirrors == "" {
+			mirrors = e.Manifest.Promoted
+		}
+		out = append(out, traceWorkload(AdvPrefix+e.Manifest.Name, CatAdversarial, TierAdversarial, mirrors, t))
+	}
+	return out, nil
+}

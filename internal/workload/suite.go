@@ -25,16 +25,32 @@ type Workload struct {
 	// kernel reproduces.
 	Mirrors string
 	Spec    Spec
+	// Tier labels non-synthetic workload classes ("adversarial", "trace");
+	// empty for the registered synthetic suite.
+	Tier string
+	// build, when set, overrides Spec-based construction — the hook the
+	// trace-replay and adversarial backends use. train selects the
+	// profiling-input variant; trace-backed workloads have no separate
+	// training input, so they ignore it.
+	build func(train bool) ([]isa.Instruction, *isa.Memory)
 }
 
-// Build generates the workload's program and memory image.
+// Build generates the workload's program and memory image. Every call
+// returns an independent memory image, so concurrent runs can mutate
+// theirs freely.
 func (w *Workload) Build() ([]isa.Instruction, *isa.Memory) {
+	if w.build != nil {
+		return w.build(false)
+	}
 	return w.Spec.Build()
 }
 
 // BuildTrain generates the profiling-input variant of the workload (used
 // by the DMP baseline's compiler pass; see Spec.BuildTrain).
 func (w *Workload) BuildTrain() ([]isa.Instruction, *isa.Memory) {
+	if w.build != nil {
+		return w.build(true)
+	}
 	return w.Spec.BuildTrain()
 }
 

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"acb/internal/isa"
+	"acb/internal/trace"
+)
+
+// Tier and category labels for non-synthetic workloads.
+const (
+	CatTrace        = "Trace"
+	CatAdversarial  = "Adversarial"
+	TierTrace       = "trace"
+	TierAdversarial = "adversarial"
+)
+
+// TracePrefix selects a trace-replay workload: "trace:<path>".
+const TracePrefix = "trace:"
+
+// AdversarialSelector expands to the whole promoted adversarial corpus.
+const AdversarialSelector = "tier=adversarial"
+
+// FromTrace loads a recorded branch trace as a replayable workload. The
+// trace must be self-contained (embedded program and memory image) and
+// carry this build's ISA fingerprint; the recorded branch stream is
+// re-verified against a functional run before the workload is handed out,
+// so a stale or corrupt trace fails at load time, not mid-experiment.
+func FromTrace(path string) (Workload, error) {
+	t, err := trace.DecodeFile(path)
+	if err != nil {
+		return Workload{}, err
+	}
+	if err := t.Verify(); err != nil {
+		return Workload{}, fmt.Errorf("%s: %w", path, err)
+	}
+	mirrors := fmt.Sprintf("recorded %s trace of %q (seed %d, %d branch records)",
+		t.Header.Kind, t.Header.Source, t.Header.Seed, len(t.Branches))
+	return traceWorkload(TracePrefix+path, CatTrace, TierTrace, mirrors, t), nil
+}
+
+// traceWorkload wraps a decoded trace as a Workload. The program slice is
+// shared (engines never mutate it); the memory image is rebuilt fresh on
+// every Build so concurrent runs stay independent.
+func traceWorkload(name, cat, tier, mirrors string, t *trace.Trace) Workload {
+	w := Workload{Name: name, Category: cat, Tier: tier, Mirrors: mirrors}
+	w.build = func(bool) ([]isa.Instruction, *isa.Memory) {
+		return t.Prog, t.Memory()
+	}
+	return w
+}
+
+// Resolve maps one workload selector to a Workload: a registered synthetic
+// name, "trace:<path>" for a recorded trace file, or the name of a
+// promoted adversarial corpus entry (with or without its "adv:" prefix).
+func Resolve(name string) (Workload, error) {
+	if strings.HasPrefix(name, TracePrefix) {
+		return FromTrace(strings.TrimPrefix(name, TracePrefix))
+	}
+	if w, err := ByName(name); err == nil {
+		return w, nil
+	}
+	advs, err := Adversarial()
+	if err != nil {
+		return Workload{}, err
+	}
+	for _, w := range advs {
+		if w.Name == name || strings.TrimPrefix(w.Name, AdvPrefix) == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown workload %q (synthetic suite, %q, %q or an adversarial entry)",
+		name, TracePrefix+"<file>", AdversarialSelector)
+}
+
+// Expand resolves a list of selectors, expanding the class selector
+// "tier=adversarial" to the whole promoted corpus. Duplicate names are
+// rejected: experiment caches key on workload name.
+func Expand(names []string) ([]Workload, error) {
+	var out []Workload
+	seen := make(map[string]bool)
+	add := func(w Workload) error {
+		if seen[w.Name] {
+			return fmt.Errorf("workload: duplicate workload %q in selection", w.Name)
+		}
+		seen[w.Name] = true
+		out = append(out, w)
+		return nil
+	}
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if n == AdversarialSelector {
+			advs, err := Adversarial()
+			if err != nil {
+				return nil, err
+			}
+			for _, w := range advs {
+				if err := add(w); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		w, err := Resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		if err := add(w); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"acb/internal/trace"
+)
+
+// recordWorkloadTrace records a suite workload's functional trace into a
+// temp file and returns the path.
+func recordWorkloadTrace(t *testing.T, name string, maxSteps int64) string {
+	t.Helper()
+	w, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, m := w.Build()
+	path := filepath.Join(t.TempDir(), name+".trace")
+	if _, _, err := trace.RecordFile(path, p, m, maxSteps,
+		trace.Header{Source: name, Kind: "workload"}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFromTraceRebuildsRecordedInputs: a trace: workload hands out the
+// exact program and initial memory that were recorded, and fresh memory
+// per Build so concurrent experiments stay independent.
+func TestFromTraceRebuildsRecordedInputs(t *testing.T) {
+	path := recordWorkloadTrace(t, "gcc", 20_000)
+	w, err := FromTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Category != CatTrace || w.Tier != TierTrace {
+		t.Fatalf("category/tier = %q/%q, want %q/%q", w.Category, w.Tier, CatTrace, TierTrace)
+	}
+
+	orig, _ := ByName("gcc")
+	op, om := orig.Build()
+	p1, m1 := w.Build()
+	if !reflect.DeepEqual(p1, op) {
+		t.Fatal("replayed program differs from the recorded workload's")
+	}
+	if !m1.Equal(om) {
+		t.Fatal("replayed initial memory differs from the recorded workload's")
+	}
+	_, m2 := w.Build()
+	m2.Store(0x40, 0xDEAD)
+	if m1.Equal(m2) {
+		t.Fatal("Build shares memory between calls")
+	}
+}
+
+// TestFromTraceRejectsCorruption: a trace: workload must fail at load
+// time when the file is damaged, not mid-experiment.
+func TestFromTraceRejectsCorruption(t *testing.T) {
+	path := recordWorkloadTrace(t, "mcf", 20_000)
+	if _, err := FromTrace(path); err != nil {
+		t.Fatalf("pristine trace rejected: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	bad := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromTrace(bad); err == nil {
+		// A flipped bit may land in CRC-covered payload (decode error) or
+		// nowhere harmful only if decode AND verify both still pass — which
+		// the framing makes impossible for a mid-file flip.
+		t.Fatal("bitflipped trace loaded without error")
+	}
+}
+
+// TestResolveSelectors covers the three selector forms and the error.
+func TestResolveSelectors(t *testing.T) {
+	if w, err := Resolve("gcc"); err != nil || w.Name != "gcc" {
+		t.Fatalf("plain name: %v %q", err, w.Name)
+	}
+
+	path := recordWorkloadTrace(t, "astar", 20_000)
+	if w, err := Resolve(TracePrefix + path); err != nil || !strings.HasPrefix(w.Name, TracePrefix) {
+		t.Fatalf("trace selector: %v %q", err, w.Name)
+	}
+
+	advs, err := Adversarial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advs) < 3 {
+		t.Fatalf("adversarial corpus has %d workloads, want >= 3", len(advs))
+	}
+	full := advs[0].Name
+	bare := strings.TrimPrefix(full, AdvPrefix)
+	for _, sel := range []string{full, bare} {
+		if w, err := Resolve(sel); err != nil || w.Name != full {
+			t.Fatalf("adversarial selector %q: %v %q", sel, err, w.Name)
+		}
+	}
+
+	if _, err := Resolve("no-such-workload"); err == nil {
+		t.Fatal("unknown selector resolved")
+	}
+}
+
+// TestExpandAdversarialTier: the tier selector expands to the whole
+// corpus, duplicates are rejected (experiment caches key on name), and
+// blank selectors are skipped.
+func TestExpandAdversarialTier(t *testing.T) {
+	advs, err := Adversarial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := Expand([]string{"gcc", "", AdversarialSelector})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1+len(advs) {
+		t.Fatalf("expanded to %d workloads, want gcc + %d adversarial", len(ws), len(advs))
+	}
+	for _, w := range ws[1:] {
+		if w.Category != CatAdversarial || w.Tier != TierAdversarial {
+			t.Fatalf("adversarial workload %q has category/tier %q/%q", w.Name, w.Category, w.Tier)
+		}
+		p, m := w.Build()
+		if len(p) == 0 || m == nil {
+			t.Fatalf("adversarial workload %q builds empty inputs", w.Name)
+		}
+	}
+
+	if _, err := Expand([]string{"gcc", "gcc"}); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	if _, err := Expand([]string{AdversarialSelector, strings.TrimPrefix(advs[0].Name, AdvPrefix)}); err == nil {
+		t.Fatal("tier expansion plus an explicit member accepted")
+	}
+}
+
+// TestAdversarialEntriesCommitted pins the corpus floor the CI
+// trace-conformance job relies on: at least 3 promoted entries, each with
+// a manifest naming its trace, a promotion reason, and the shrunk
+// difftest program for engine-site recovery.
+func TestAdversarialEntriesCommitted(t *testing.T) {
+	entries, err := AdversarialEntries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("%d committed adversarial entries, want >= 3", len(entries))
+	}
+	for _, e := range entries {
+		if e.Manifest.Name == "" || e.Manifest.Trace == "" || e.Manifest.Promoted == "" {
+			t.Fatalf("manifest incomplete: %+v", e.Manifest)
+		}
+		if len(e.Manifest.Prog) == 0 {
+			t.Fatalf("%s: manifest has no embedded difftest program", e.Manifest.Name)
+		}
+		if len(e.Trace) == 0 {
+			t.Fatalf("%s: empty trace", e.Manifest.Name)
+		}
+		if e.Manifest.Matrix.Engines == 0 || e.Manifest.Matrix.Predications == 0 {
+			t.Fatalf("%s: promotion matrix summary vacuous: %+v", e.Manifest.Name, e.Manifest.Matrix)
+		}
+	}
+}
